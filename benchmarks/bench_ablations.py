@@ -1,0 +1,124 @@
+"""Design ablations: β, recovery time, slave count, temporal texture.
+
+Criteria: the eq. 3 price falls as β rises (§4.1); the persistent bid
+rises with t_r (Prop. 5) and persistent stays cheaper than one-time for
+interruptible jobs; eq. 18's completion time falls monotonically in M
+while the cost stays nearly flat; temporal correlation cuts realized
+interruptions (§8).
+"""
+
+from repro.experiments import FAST_CONFIG, ablations
+
+
+def test_beta_sweep(once):
+    result = once(ablations.beta_sweep)
+    print("\nAblation — provider utilization weight β")
+    print(result.table())
+    assert result.monotone_decreasing
+
+
+def test_recovery_sweep(once):
+    result = once(ablations.recovery_sweep, FAST_CONFIG)
+    print("\nAblation — recovery time t_r")
+    print(result.table())
+    assert result.bids_monotone
+    # For sub-slot recoveries, persistent must beat one-time (Fig. 6c).
+    for row in result.rows:
+        if row.recovery_seconds <= 60:
+            assert row.persistent_wins
+
+
+def test_slave_count_sweep(once):
+    result = once(ablations.slave_count_sweep, FAST_CONFIG)
+    print("\nAblation — slave count M (eq. 18/19)")
+    print(result.table())
+    assert result.completion_monotone
+    costs = [r.expected_cost for r in result.rows]
+    assert max(costs) / min(costs) < 1.05  # cost nearly flat in M
+
+
+def test_temporal_texture(once):
+    result = once(ablations.temporal_texture, FAST_CONFIG)
+    print("\nAblation — temporal texture (identical marginals)")
+    print(result.table())
+    assert result.correlation_reduces_interruptions
+
+
+def test_billing_comparison(once):
+    result = once(ablations.billing_comparison, FAST_CONFIG)
+    print("\nAblation — per-slot (paper) vs hourly (EC2 2014) billing")
+    print(result.table())
+    # Whole-hour rounding typically adds cost for user-terminated jobs
+    # (hourly can undercut per-slot only when prices rise mid-hour, a
+    # rare event on floor-heavy traces).
+    assert -0.2 < result.hourly_premium < 2.0
+
+
+def test_forecasting_comparison(once):
+    result = once(ablations.forecasting_comparison, FAST_CONFIG)
+    print("\nAblation — stationary ECDF vs forecast-based bids (§5)")
+    print(result.table())
+    # The paper's argument: forecasting buys little at job horizons.
+    stationary = result.cost_of("stationary-ecdf")
+    for name in ("ewma", "ar1"):
+        assert result.cost_of(name) > 0.8 * stationary  # no big win
+        assert result.cost_of(name) < 1.5 * stationary  # nor catastrophe
+
+
+def test_checkpoint_sweep(once):
+    result = once(ablations.checkpoint_sweep, FAST_CONFIG)
+    print("\nAblation — checkpoint interval under a 90th-percentile bid cap")
+    print(result.table())
+    # The classic trade-off: an interior optimal interval exists.
+    assert result.interior_optimum
+    assert 1.0 < result.chosen_interval_minutes < 60.0
+
+
+def test_adaptive_rebidding(once):
+    result = once(ablations.adaptive_rebidding, FAST_CONFIG)
+    print("\nAblation — static vs adaptive bidding across a regime shift")
+    print(result.table())
+    static, adaptive = result.row("static"), result.row("adaptive")
+    # A static pre-shift bid sits below the new price floor and stalls;
+    # the adaptive client re-estimates and completes.
+    assert adaptive.completed > static.completed
+    assert adaptive.completed == adaptive.repetitions
+    assert adaptive.mean_rebids >= 1.0
+
+
+def test_fleet_allocation(once):
+    result = once(ablations.fleet_allocation, FAST_CONFIG)
+    print("\nAblation — Spot-Fleet-style allocation across instance types")
+    print(result.ranking_table)
+    print(result.table())
+    cheapest, diversified = result.row("cheapest"), result.row("diversified")
+    assert cheapest.completed == cheapest.repetitions
+    assert diversified.completed == diversified.repetitions
+    # Diversification costs at most a few percent in expectation.
+    assert diversified.mean_cost < cheapest.mean_cost * 1.10
+    assert diversified.types_used > cheapest.types_used
+
+
+def test_scheduling_policy(once):
+    result = once(ablations.scheduling_policy, FAST_CONFIG)
+    print("\nAblation — pinned sub-jobs (paper) vs Hadoop task stealing")
+    print(result.table())
+    pinned, pool = result.row("pinned-subjobs"), result.row("task-pool")
+    assert pinned.completed == pinned.repetitions
+    assert pool.completed == pool.repetitions
+    # With every worker on ONE market, stalls hit both policies alike;
+    # checkpointed sub-jobs (paying only t_r per resume) beat the pool's
+    # lost in-flight work — the paper's save-to-volume design, justified.
+    assert pinned.mean_cost <= pool.mean_cost + 1e-9
+    assert pool.mean_lost_work >= 0.0
+
+
+def test_history_length_sensitivity(once):
+    result = once(ablations.history_length_sensitivity, FAST_CONFIG)
+    print("\nAblation — how much price history does a bid need?")
+    print(result.table())
+    assert result.bid_noise_shrinks_with_history
+    # Realized costs stay within a band across window lengths: even
+    # short histories capture the floor-plus-tail shape.
+    costs = [r.mean_cost for r in result.rows]
+    assert max(costs) / min(costs) < 1.15

@@ -1,0 +1,24 @@
+"""Figure 4: an example persistent job timeline with interruptions.
+
+Paper criteria: the pictured run alternates running/idle segments and
+satisfies the eq. 13 accounting identity T·F(p) = k·t_r + t_s (two
+interruptions in the paper's example).
+"""
+
+from repro.experiments import FAST_CONFIG, fig4_job_timeline
+
+
+def test_fig4_job_timeline(once):
+    result = once(fig4_job_timeline.run, FAST_CONFIG)
+    print(f"\nFigure 4 — example run on {result.instance_type}, "
+          f"bid ${result.bid_price:.4f}/h")
+    print(f"interruptions: {result.outcome.interruptions}  "
+          f"completion: {result.outcome.completion_time:.2f}h  "
+          f"idle: {result.outcome.idle_time:.2f}h")
+    print(result.ascii_timeline())
+
+    assert result.outcome.completed
+    assert result.outcome.interruptions >= 1  # the paper's example shows 2
+    assert abs(result.accounting_residual) < 1e-9
+    states = {k for _s, _e, k in result.segments}
+    assert states == {"run", "idle"}

@@ -1,0 +1,47 @@
+"""Figure 6: persistent vs one-time requests (three panels).
+
+Paper criteria: (a) persistent bids charge a lower price per running
+hour and the 10 s-recovery bid is the lowest; (b) persistent completion
+times exceed the one-time baseline, with the shorter recovery time
+yielding the *longer* completion (its cheaper bid idles more); (c)
+persistent total costs are lower, and the 90th-percentile heuristic
+"yields a much smaller decrease in cost" than the optimal bids.
+"""
+
+from repro.experiments import FAST_CONFIG, fig6_persistent_vs_onetime
+
+
+def test_fig6_persistent_vs_onetime(once):
+    result = once(fig6_persistent_vs_onetime.run, FAST_CONFIG)
+    print("\nFigure 6 — persistent vs one-time (% difference per panel)")
+    print(result.table())
+
+    # Panel (a): persistent prices below the one-time baseline.
+    assert result.mean_price_diff("persistent-10s") < 0.0
+    assert result.mean_price_diff("persistent-30s") < 0.0
+    assert (
+        result.mean_price_diff("persistent-10s")
+        <= result.mean_price_diff("persistent-30s")
+    )
+
+    # Panel (b): persistent runs take longer; shorter recovery → longer.
+    assert result.mean_completion_diff("persistent-10s") > 0.0
+    assert result.mean_completion_diff("persistent-30s") > 0.0
+    assert (
+        result.mean_completion_diff("persistent-10s")
+        >= result.mean_completion_diff("persistent-30s")
+    )
+    # The 90th-percentile bid (higher price) idles less.
+    assert (
+        result.mean_completion_diff("percentile-90")
+        <= result.mean_completion_diff("persistent-30s")
+    )
+
+    # Panel (c): optimal persistent bids cut cost; the heuristic cuts
+    # less than the 10 s-recovery optimum.
+    assert result.mean_cost_diff("persistent-10s") < 0.0
+    assert result.mean_cost_diff("persistent-30s") < 0.5
+    assert (
+        result.mean_cost_diff("persistent-10s")
+        <= result.mean_cost_diff("percentile-90")
+    )

@@ -1,0 +1,22 @@
+"""Propositions 1–3: queue stability, equilibrium, push-forward prices.
+
+Criteria: constant arrivals settle at the Prop. 2 fixed point; realized
+drift above the Lyapunov level is negative (Prop. 1); the model's price
+samples match h(Λ) push-forward samples (Prop. 3); day and night prices
+pass the paper's K-S similarity criterion (p > 0.01, §4.3).
+"""
+
+from repro.experiments import FAST_CONFIG, queue_stability
+
+
+def test_queue_stability(once):
+    result = once(queue_stability.run, FAST_CONFIG)
+    print("\nPropositions 1–3 — queue stability and equilibrium prices")
+    print(result.table())
+
+    assert len(result.rows) == 4
+    assert result.all_stable
+    for row in result.rows:
+        assert row.pushforward_ks.similar(threshold=0.01)
+        assert row.day_night_ks.similar(threshold=0.01)
+        assert row.mean_queue < row.lyapunov_level

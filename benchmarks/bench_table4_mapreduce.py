@@ -1,0 +1,24 @@
+"""Table 4: MapReduce client settings — bids, cluster sizes, cost split.
+
+Paper criteria: the minimum viable slave count "can be as low as 3 or
+4"; "the cost of the master node is 10% to 25% of the slave node cost"
+(we allow the band to stretch slightly since cluster shapes differ).
+"""
+
+from repro.experiments import FAST_CONFIG, table4_mapreduce_plans
+
+
+def test_table4_mapreduce_plans(once):
+    result = once(table4_mapreduce_plans.run, FAST_CONFIG)
+    print("\nTable 4 — MapReduce bids and master/slave cost split")
+    print(result.table())
+
+    assert len(result.rows) == 5
+    for row in result.rows:
+        assert 3 <= row.min_slaves <= 8  # "as low as 3 or 4"
+        assert row.num_slaves >= row.min_slaves
+        assert row.master_bid < row.slave_bid or row.master_type != row.slave_type
+        # Master cost fraction in (or near) the paper's 10–25% band.
+        assert 0.03 < row.master_cost_fraction < 0.45
+    in_band = [r for r in result.rows if 0.08 <= r.master_cost_fraction <= 0.30]
+    assert len(in_band) >= 3

@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures through
+``repro.experiments`` and prints the rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section.  Experiments are expensive
+relative to micro-benchmarks, so every benchmark runs exactly once
+(``pedantic`` with one round); the recorded time is the cost of
+regenerating that artifact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

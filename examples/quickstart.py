@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compute an optimal spot bid and backtest it.
+
+Mirrors the paper's core workflow (Figure 1): build the price
+distribution from two months of history, compute the Prop. 4/5 optimal
+bids for a one-hour job, and execute the persistent bid against a
+held-out week of prices on the market simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BiddingClient,
+    JobSpec,
+    generate_equilibrium_history,
+    generate_renewal_history,
+    get_instance_type,
+    seconds,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    itype = get_instance_type("r3.xlarge")
+
+    # The two-month history Amazon exposed, and a held-out future week.
+    history = generate_equilibrium_history(itype, days=60, rng=rng)
+    future = generate_renewal_history(itype, days=7, rng=rng)
+
+    client = BiddingClient(history, ondemand_price=itype.on_demand_price)
+    job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+
+    print(f"instance: {itype.name}  on-demand ${itype.on_demand_price}/h")
+    print(f"history:  {history}")
+    print()
+
+    for strategy in ("one-time", "persistent"):
+        decision = client.decide(job, strategy=strategy)
+        print(
+            f"{strategy:10s}  bid ${decision.price:.4f}/h  "
+            f"expected cost ${decision.expected_cost:.4f}  "
+            f"expected completion {decision.expected_completion_time:.2f}h"
+        )
+
+    report = client.backtest(job, future, strategy="persistent")
+    outcome = report.outcome
+    print()
+    print(
+        f"backtest (persistent): completed={outcome.completed}  "
+        f"cost ${outcome.cost:.4f}  completion {outcome.completion_time:.2f}h  "
+        f"interruptions {outcome.interruptions}"
+    )
+    savings = 1.0 - outcome.cost / client.ondemand_cost(job)
+    print(f"savings vs on-demand: {savings:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Shared statistical utilities."""
+
+from .distributions import KSResult, ecdf, ks_two_sample, mean_squared_error
+from .trace_stats import TraceSummary, describe_history, episode_lengths
+from .stats import (
+    Summary,
+    bootstrap_mean_ci,
+    percent_difference,
+    savings_fraction,
+    summarize,
+)
+
+__all__ = [
+    "TraceSummary",
+    "describe_history",
+    "episode_lengths",
+    "KSResult",
+    "ecdf",
+    "ks_two_sample",
+    "mean_squared_error",
+    "Summary",
+    "bootstrap_mean_ci",
+    "percent_difference",
+    "savings_fraction",
+    "summarize",
+]

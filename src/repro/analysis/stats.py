@@ -1,0 +1,72 @@
+"""Summary statistics for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["percent_difference", "savings_fraction", "Summary", "summarize", "bootstrap_mean_ci"]
+
+
+def percent_difference(value: float, baseline: float) -> float:
+    """``100·(value − baseline)/baseline`` — the scale of Figure 6's axes."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return 100.0 * (value - baseline) / baseline
+
+
+def savings_fraction(cost: float, baseline: float) -> float:
+    """``1 − cost/baseline`` — e.g. 0.91 for the paper's 91% saving."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline!r}")
+    return 1.0 - cost / baseline
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max of a sample, with its size."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sample (ddof=1 std when n > 1)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    rng: np.random.Generator,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, lo)),
+        float(np.quantile(means, 1.0 - lo)),
+    )

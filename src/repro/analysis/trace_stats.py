@@ -1,0 +1,105 @@
+"""Descriptive statistics for spot-price traces.
+
+What an operator wants to know about a price history before bidding on
+it: how often the price sits at its floor, how long floor/excursion
+episodes last, how heavy the tail is, and how sticky consecutive slots
+are.  Backs the ``repro-bid describe`` command and the trace sanity
+checks in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..traces.history import SpotPriceHistory
+
+__all__ = ["TraceSummary", "describe_history", "episode_lengths"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One trace's headline statistics."""
+
+    n_slots: int
+    duration_hours: float
+    floor_price: float
+    max_price: float
+    mean_price: float
+    #: Fraction of slots priced exactly at the floor.
+    floor_occupancy: float
+    #: Mean length of consecutive floor runs, hours.
+    mean_floor_episode_hours: float
+    #: Mean length of consecutive above-floor runs, hours.
+    mean_excursion_hours: float
+    #: Fraction of slot transitions where the price changed.
+    change_rate: float
+    #: Key quantiles as (percent, price) pairs.
+    quantiles: Tuple[Tuple[float, float], ...]
+
+    def render(self) -> str:
+        lines = [
+            f"slots:            {self.n_slots} ({self.duration_hours:.1f} h)",
+            f"price range:      {self.floor_price:.4f} – {self.max_price:.4f} $/h",
+            f"mean price:       {self.mean_price:.4f} $/h",
+            f"floor occupancy:  {self.floor_occupancy:.1%}",
+            f"floor episodes:   {self.mean_floor_episode_hours:.2f} h mean",
+            f"excursions:       {self.mean_excursion_hours:.2f} h mean",
+            f"change rate:      {self.change_rate:.1%} of transitions",
+            "quantiles:        "
+            + "  ".join(f"p{int(q)}={v:.4f}" for q, v in self.quantiles),
+        ]
+        return "\n".join(lines)
+
+
+def episode_lengths(mask: np.ndarray) -> List[int]:
+    """Lengths (in slots) of each maximal run of ``True`` in ``mask``."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise TraceError("mask must be 1-D")
+    lengths: List[int] = []
+    run = 0
+    for value in mask:
+        if value:
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return lengths
+
+
+def describe_history(history: SpotPriceHistory) -> TraceSummary:
+    """Summarize a trace's price levels and temporal texture."""
+    prices = history.prices
+    floor = float(prices.min())
+    at_floor = prices <= floor + 1e-12
+    floor_runs = episode_lengths(at_floor)
+    excursion_runs = episode_lengths(~at_floor)
+    changes = (
+        float(np.mean(np.diff(prices) != 0.0)) if prices.size > 1 else 0.0
+    )
+    quantiles = tuple(
+        (q, float(np.percentile(prices, q))) for q in (50.0, 90.0, 95.0, 99.0)
+    )
+    to_hours = history.slot_length
+    return TraceSummary(
+        n_slots=history.n_slots,
+        duration_hours=history.duration_hours,
+        floor_price=floor,
+        max_price=float(prices.max()),
+        mean_price=float(prices.mean()),
+        floor_occupancy=float(at_floor.mean()),
+        mean_floor_episode_hours=(
+            float(np.mean(floor_runs)) * to_hours if floor_runs else 0.0
+        ),
+        mean_excursion_hours=(
+            float(np.mean(excursion_runs)) * to_hours if excursion_runs else 0.0
+        ),
+        change_rate=changes,
+        quantiles=quantiles,
+    )

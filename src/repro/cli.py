@@ -1,0 +1,405 @@
+"""Command-line interface: ``repro-bid``.
+
+Subcommands
+-----------
+``trace``      Generate a synthetic spot-price trace CSV for an instance
+               type (equilibrium / renewal / correlated / provider).
+``bid``        Compute the optimal bid for a job from a trace CSV.
+``fit``        Fit the Section 4 model to a trace CSV (Figure 3).
+``backtest``   Decide a bid on one trace and execute it on another.
+``experiment`` Run one of the paper's table/figure reproductions
+               (or ``all`` to regenerate a full markdown report).
+``describe``   Summarize a trace CSV (floor occupancy, episodes, tail).
+``options``    Compare on-demand / one-time / persistent / spot-block.
+``mapreduce``  Plan a master/slave cluster bid (eq. 20).
+``catalog``    List the built-in instance types.
+
+Examples
+--------
+::
+
+    repro-bid trace r3.xlarge --days 60 --out history.csv
+    repro-bid bid history.csv --hours 1 --recovery-seconds 30
+    repro-bid fit history.csv
+    repro-bid experiment table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .constants import seconds
+from .core.client import BiddingClient
+from .core.types import JobSpec
+from .errors import ReproError
+from .provider.fitting import fit_both_families
+from .traces import io as trace_io
+from .traces.catalog import CATALOG, get_instance_type
+from .traces.generator import (
+    generate_correlated_history,
+    generate_equilibrium_history,
+    generate_provider_history,
+    generate_renewal_history,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "fig3", "fig4", "table3", "fig5", "fig6", "table4", "fig7", "prop12",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-bid`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bid",
+        description="Spot-market bidding toolkit (SIGCOMM'15 'How to Bid "
+        "the Cloud' reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic price trace")
+    p_trace.add_argument("instance_type", help="e.g. r3.xlarge")
+    p_trace.add_argument("--days", type=float, default=60.0)
+    p_trace.add_argument(
+        "--model",
+        choices=("equilibrium", "renewal", "correlated", "provider"),
+        default="equilibrium",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", required=True, help="output CSV path")
+
+    p_bid = sub.add_parser("bid", help="compute optimal bids from a trace")
+    p_bid.add_argument("trace", help="price-history CSV")
+    p_bid.add_argument("--hours", type=float, default=1.0, help="t_s")
+    p_bid.add_argument(
+        "--recovery-seconds", type=float, default=30.0, help="t_r in seconds"
+    )
+    p_bid.add_argument(
+        "--ondemand", type=float, default=None,
+        help="on-demand price; defaults to the catalog entry for the "
+        "trace's instance type",
+    )
+    p_bid.add_argument(
+        "--strategy",
+        choices=("one-time", "persistent", "percentile", "all"),
+        default="all",
+    )
+    p_bid.add_argument("--percentile", type=float, default=90.0)
+
+    p_fit = sub.add_parser("fit", help="fit the provider model to a trace")
+    p_fit.add_argument("trace", help="price-history CSV")
+    p_fit.add_argument("--ondemand", type=float, default=None)
+    p_fit.add_argument("--bins", type=int, default=40)
+    p_fit.add_argument("--jacobian", action="store_true",
+                       help="use the exact change-of-variables density")
+
+    p_back = sub.add_parser(
+        "backtest", help="decide on one trace, execute on another"
+    )
+    p_back.add_argument("history", help="trace CSV used to compute the bid")
+    p_back.add_argument("future", help="trace CSV the bid is executed on")
+    p_back.add_argument("--hours", type=float, default=1.0)
+    p_back.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_back.add_argument("--ondemand", type=float, default=None)
+    p_back.add_argument(
+        "--strategy", choices=("one-time", "persistent", "percentile"),
+        default="persistent",
+    )
+    p_back.add_argument("--start-slot", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="run a paper reproduction")
+    p_exp.add_argument("name", choices=_EXPERIMENTS + ("all",))
+    p_exp.add_argument("--fast", action="store_true",
+                       help="use the small/CI configuration")
+    p_exp.add_argument("--out", default=None,
+                       help="with 'all': write a markdown report here")
+
+    p_desc = sub.add_parser("describe", help="summarize a trace CSV")
+    p_desc.add_argument("trace", help="price-history CSV")
+
+    p_opt = sub.add_parser(
+        "options", help="compare all four purchasing options for a job"
+    )
+    p_opt.add_argument("trace", help="price-history CSV")
+    p_opt.add_argument("--hours", type=float, default=1.0)
+    p_opt.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_opt.add_argument("--ondemand", type=float, default=None)
+
+    p_mr = sub.add_parser("mapreduce", help="plan a MapReduce cluster bid")
+    p_mr.add_argument("--master", default="m3.xlarge")
+    p_mr.add_argument("--slave", default="c3.4xlarge")
+    p_mr.add_argument("--hours", type=float, default=16.0,
+                      help="total execution time t_s")
+    p_mr.add_argument("--slaves", type=int, default=6, help="slave count M")
+    p_mr.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_mr.add_argument("--overhead-seconds", type=float, default=60.0)
+    p_mr.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("catalog", help="list built-in instance types")
+    return parser
+
+
+def _resolve_ondemand(explicit: Optional[float], instance_type: Optional[str]) -> float:
+    if explicit is not None:
+        if explicit <= 0:
+            raise ReproError(f"--ondemand must be positive, got {explicit!r}")
+        return explicit
+    if instance_type is not None and instance_type in CATALOG:
+        return CATALOG[instance_type].on_demand_price
+    raise ReproError(
+        "on-demand price unknown: pass --ondemand or use a trace whose "
+        "instance type is in the catalog"
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    itype = get_instance_type(args.instance_type)
+    rng = np.random.default_rng(args.seed)
+    generators = {
+        "equilibrium": generate_equilibrium_history,
+        "renewal": generate_renewal_history,
+        "correlated": generate_correlated_history,
+        "provider": generate_provider_history,
+    }
+    history = generators[args.model](itype, days=args.days, rng=rng)
+    trace_io.write_csv(history, args.out)
+    print(
+        f"wrote {history.n_slots} slots ({args.days:g} days) of {itype.name} "
+        f"prices to {args.out}"
+    )
+    return 0
+
+
+def _print_decision(label: str, decision) -> None:
+    parts = [f"{label:12s} bid=${decision.price:.4f}/h"]
+    parts.append(f"expected cost=${decision.expected_cost:.4f}")
+    if decision.expected_completion_time is not None:
+        parts.append(f"expected T={decision.expected_completion_time:.2f}h")
+    if decision.acceptance_probability is not None:
+        parts.append(f"F(p)={decision.acceptance_probability:.3f}")
+    print("  ".join(parts))
+
+
+def _cmd_bid(args: argparse.Namespace) -> int:
+    history = trace_io.read_csv(args.trace)
+    ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+    client = BiddingClient(history, ondemand_price=ondemand)
+    job = JobSpec(
+        execution_time=args.hours,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=history.slot_length,
+    )
+    strategies = (
+        ("one-time", "persistent", "percentile")
+        if args.strategy == "all"
+        else (args.strategy,)
+    )
+    print(
+        f"job: t_s={args.hours:g}h t_r={args.recovery_seconds:g}s  "
+        f"on-demand=${ondemand:.4f}/h  history={history.n_slots} slots"
+    )
+    for strategy in strategies:
+        decision = client.decide(job, strategy=strategy, percentile=args.percentile)
+        _print_decision(strategy, decision)
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    history = trace_io.read_csv(args.trace)
+    ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+    pareto, exponential = fit_both_families(
+        history.prices, ondemand, bins=args.bins, jacobian=args.jacobian
+    )
+    print(
+        f"pareto:      beta={pareto.beta:.4f} theta={pareto.theta:.3f} "
+        f"alpha={pareto.alpha:.3f} floor_mass={pareto.floor_mass:.3f} "
+        f"mse={pareto.mse_mass:.3e}"
+    )
+    print(
+        f"exponential: beta={exponential.beta:.4f} theta={exponential.theta:.3f} "
+        f"eta={exponential.eta:.3e} floor_mass={exponential.floor_mass:.3f} "
+        f"mse={exponential.mse_mass:.3e}"
+    )
+    return 0
+
+
+def _cmd_backtest(args: argparse.Namespace) -> int:
+    history = trace_io.read_csv(args.history)
+    future = trace_io.read_csv(args.future)
+    ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+    client = BiddingClient(history, ondemand_price=ondemand)
+    job = JobSpec(
+        execution_time=args.hours,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=history.slot_length,
+    )
+    report = client.backtest(
+        job, future, strategy=args.strategy, start_slot=args.start_slot
+    )
+    _print_decision(args.strategy, report.decision)
+    o = report.outcome
+    status = "completed" if o.completed else f"NOT completed ({o.state})"
+    time_str = f"{o.completion_time:.2f}h" if o.completion_time is not None else "n/a"
+    print(
+        f"outcome: {status}  cost=${o.cost:.4f}  T={time_str}  "
+        f"interruptions={o.interruptions}  idle={o.idle_time:.2f}h"
+    )
+    print(
+        f"vs on-demand ${client.ondemand_cost(job):.4f}: "
+        f"savings {1 - o.cost / client.ondemand_cost(job):.1%}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    modules = {
+        "fig3": experiments.fig3_price_pdf,
+        "fig4": experiments.fig4_job_timeline,
+        "table3": experiments.table3_bid_prices,
+        "fig5": experiments.fig5_onetime_costs,
+        "fig6": experiments.fig6_persistent_vs_onetime,
+        "table4": experiments.table4_mapreduce_plans,
+        "fig7": experiments.fig7_mapreduce_costs,
+        "prop12": experiments.queue_stability,
+    }
+    config = experiments.FAST_CONFIG if args.fast else experiments.FULL_CONFIG
+    if args.name == "all":
+        from .experiments.report import generate_report
+
+        report = generate_report(config)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report)
+            print(f"wrote report to {args.out}")
+        else:
+            print(report)
+        return 0
+    result = modules[args.name].run(config)
+    if hasattr(result, "table"):
+        print(result.table())
+    if args.name == "fig4":
+        print(
+            f"bid={result.bid_price:.4f} interruptions="
+            f"{result.outcome.interruptions}"
+        )
+        print(result.ascii_timeline())
+    return 0
+
+
+def _cmd_mapreduce(args: argparse.Namespace) -> int:
+    from .core.mapreduce import plan_master_slave
+    from .core.types import MapReduceJobSpec
+    from .mapreduce.runner import ondemand_baseline
+    from .traces.generator import generate_equilibrium_history
+
+    master_t = get_instance_type(args.master)
+    slave_t = get_instance_type(args.slave)
+    rng = np.random.default_rng(args.seed)
+    master_hist = generate_equilibrium_history(master_t, days=60, rng=rng)
+    slave_hist = generate_equilibrium_history(slave_t, days=60, rng=rng)
+    job = MapReduceJobSpec(
+        execution_time=args.hours,
+        num_slaves=args.slaves,
+        overhead_time=seconds(args.overhead_seconds),
+        recovery_time=seconds(args.recovery_seconds),
+    )
+    plan = plan_master_slave(
+        master_hist.to_distribution(), slave_hist.to_distribution(), job,
+        master_ondemand=master_t.on_demand_price,
+        slave_ondemand=slave_t.on_demand_price,
+    )
+    baseline = ondemand_baseline(
+        job, master_t.on_demand_price, slave_t.on_demand_price
+    )
+    print(f"job: t_s={args.hours:g}h M={args.slaves} "
+          f"t_r={args.recovery_seconds:g}s t_o={args.overhead_seconds:g}s")
+    print(f"master ({master_t.name}):  one-time bid ${plan.master_bid.price:.4f}/h")
+    print(f"slaves ({slave_t.name}): persistent bid ${plan.slave_bid.price:.4f}/h")
+    print(f"minimum viable slaves (eq. 20): {plan.min_slaves}")
+    print(f"expected spot cost:  ${plan.total_expected_cost:.3f}")
+    print(f"on-demand baseline:  ${baseline.total_cost:.3f} "
+          f"({1 - plan.total_expected_cost / baseline.total_cost:.1%} cheaper)")
+    return 0
+
+
+def _cmd_options(args: argparse.Namespace) -> int:
+    from .extensions.spot_blocks import compare_purchasing_options
+
+    history = trace_io.read_csv(args.trace)
+    ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+    job = JobSpec(
+        execution_time=args.hours,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=history.slot_length,
+    )
+    options = compare_purchasing_options(
+        history.to_distribution(), job, ondemand
+    )
+    print(f"job: t_s={args.hours:g}h t_r={args.recovery_seconds:g}s  "
+          f"on-demand=${ondemand:.4f}/h")
+    print(f"{'option':12s} {'price $/h':>10s} {'expected $':>11s} "
+          f"{'T (h)':>7s} {'P(done)':>8s}")
+    for option in options:
+        print(
+            f"{option.name:12s} {option.price:10.4f} "
+            f"{option.expected_cost:11.4f} "
+            f"{option.expected_completion_time:7.2f} "
+            f"{option.completion_probability:8.2f}"
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .analysis.trace_stats import describe_history
+
+    history = trace_io.read_csv(args.trace)
+    label = history.instance_type or "unlabeled trace"
+    print(f"{label} — {args.trace}")
+    print(describe_history(history).render())
+    return 0
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    print(f"{'type':12s} {'vCPU':>4s} {'mem GiB':>8s} {'on-demand':>10s} {'floor':>8s}")
+    for name in sorted(CATALOG):
+        it = CATALOG[name]
+        print(
+            f"{it.name:12s} {it.vcpus:4d} {it.memory_gib:8.1f} "
+            f"{it.on_demand_price:10.4f} {it.market.pi_min:8.4f}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "trace": _cmd_trace,
+        "bid": _cmd_bid,
+        "fit": _cmd_fit,
+        "backtest": _cmd_backtest,
+        "experiment": _cmd_experiment,
+        "describe": _cmd_describe,
+        "options": _cmd_options,
+        "mapreduce": _cmd_mapreduce,
+        "catalog": _cmd_catalog,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

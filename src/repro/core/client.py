@@ -1,0 +1,163 @@
+"""The user-side bidding client (Figure 1).
+
+The client wires together the paper's architecture: a *price monitor*
+(the historical price distribution), the *bid calculator* (Sections 5–6),
+and a *job monitor* (executing the bid against the market and watching
+for interruptions).  In the paper the market is live EC2; here it is the
+:mod:`repro.market` simulator replaying a held-out future trace — the
+standard backtest protocol used by every Section 7 experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import MarketError
+from ..market.price_sources import TracePriceSource
+from ..market.simulator import JobOutcome, SpotMarket
+from ..traces.history import SpotPriceHistory
+from .distributions import EmpiricalPriceDistribution
+from .heuristics import percentile_bid
+from .onetime import optimal_onetime_bid
+from .persistent import optimal_persistent_bid
+from .types import BidDecision, BidKind, JobSpec
+
+__all__ = ["BidRunReport", "BiddingClient"]
+
+
+@dataclass(frozen=True)
+class BidRunReport:
+    """A bid decision paired with its realized outcome."""
+
+    decision: BidDecision
+    outcome: JobOutcome
+
+    @property
+    def cost_prediction_error(self) -> float:
+        """Realized minus predicted cost, in dollars."""
+        return self.outcome.cost - self.decision.expected_cost
+
+
+class BiddingClient:
+    """Computes bids from history and runs them against future prices.
+
+    Parameters
+    ----------
+    history:
+        The observed spot-price history (Amazon exposed two months).
+    ondemand_price:
+        ``π̄`` for the instance type, used for feasibility ceilings.
+    """
+
+    def __init__(self, history: SpotPriceHistory, *, ondemand_price: float):
+        if ondemand_price <= 0:
+            raise ValueError(
+                f"ondemand_price must be positive, got {ondemand_price!r}"
+            )
+        self.history = history
+        self.ondemand_price = float(ondemand_price)
+        self.distribution: EmpiricalPriceDistribution = history.to_distribution()
+
+    # -- bid calculation (Figure 1's "bid calculator") --------------------
+    def decide(
+        self,
+        job: JobSpec,
+        *,
+        strategy: str = "persistent",
+        percentile: float = 90.0,
+    ) -> BidDecision:
+        """Compute a bid for ``job`` with the chosen strategy.
+
+        ``strategy`` is one of ``"one-time"`` (Prop. 4), ``"persistent"``
+        (Prop. 5) or ``"percentile"`` (the Section 7 heuristic baseline,
+        using ``percentile``).
+        """
+        if strategy == "one-time":
+            return optimal_onetime_bid(
+                self.distribution, job, ondemand_price=self.ondemand_price
+            )
+        if strategy == "persistent":
+            return optimal_persistent_bid(
+                self.distribution, job, ondemand_price=self.ondemand_price
+            )
+        if strategy == "percentile":
+            return percentile_bid(self.distribution, job, percentile=percentile)
+        raise ValueError(
+            f"unknown strategy {strategy!r}; use 'one-time', 'persistent' "
+            "or 'percentile'"
+        )
+
+    # -- execution (Figure 1's "job monitor") ------------------------------
+    def execute(
+        self,
+        decision: BidDecision,
+        job: JobSpec,
+        future: SpotPriceHistory,
+        *,
+        start_slot: int = 0,
+        fallback_ondemand: bool = False,
+    ) -> JobOutcome:
+        """Run a bid against held-out future prices on the simulator.
+
+        With ``fallback_ondemand`` a failed one-time request is assumed to
+        be rerun from scratch on an on-demand instance (the paper notes
+        users "may default to on-demand instances if the jobs are not
+        completed"); the reported cost then includes both the wasted spot
+        spend and the on-demand rerun.
+        """
+        if future.slot_length != job.slot_length:
+            raise MarketError(
+                f"future trace slot length {future.slot_length!r} differs from "
+                f"the job's slot length {job.slot_length!r}"
+            )
+        market = SpotMarket(
+            TracePriceSource(future, start_slot=start_slot),
+            slot_length=job.slot_length,
+        )
+        request_id = market.submit(
+            bid_price=decision.price,
+            work=job.execution_time,
+            kind=decision.kind,
+            recovery_time=(
+                job.recovery_time if decision.kind is BidKind.PERSISTENT else 0.0
+            ),
+        )
+        try:
+            market.run_until_done(max_slots=future.n_slots - start_slot)
+        except MarketError:
+            # Trace ran out with the job unfinished; report the partial
+            # outcome rather than guessing beyond the data.
+            pass
+        outcome = market.outcome(request_id)
+
+        if fallback_ondemand and not outcome.completed:
+            # The paper's noted remedy: rerun the whole job on demand.
+            extra = self.ondemand_price * job.execution_time
+            outcome = dataclasses.replace(outcome, cost=outcome.cost + extra)
+        return outcome
+
+    def backtest(
+        self,
+        job: JobSpec,
+        future: SpotPriceHistory,
+        *,
+        strategy: str = "persistent",
+        percentile: float = 90.0,
+        start_slot: int = 0,
+        fallback_ondemand: bool = False,
+    ) -> BidRunReport:
+        """Decide and execute in one call; returns prediction and outcome."""
+        decision = self.decide(job, strategy=strategy, percentile=percentile)
+        outcome = self.execute(
+            decision,
+            job,
+            future,
+            start_slot=start_slot,
+            fallback_ondemand=fallback_ondemand,
+        )
+        return BidRunReport(decision=decision, outcome=outcome)
+
+    def ondemand_cost(self, job: JobSpec) -> float:
+        """Baseline cost of the job on an on-demand instance."""
+        return self.ondemand_price * job.execution_time

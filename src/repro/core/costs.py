@@ -1,0 +1,253 @@
+"""The paper's cost and running-time formulas (Sections 5 and 6).
+
+Everything here is a pure function of a :class:`~repro.core.distributions.
+PriceDistribution` and a job specification.  The optimizers in
+:mod:`repro.core.onetime`, :mod:`repro.core.persistent` and
+:mod:`repro.core.mapreduce` search over bid prices using these formulas.
+
+Equation map
+------------
+==============================  =======================================
+:func:`expected_uninterrupted_time`   eq. 8   ``t_k / (1 − F(p))``
+:func:`expected_price_paid`           eq. 9   ``E[π | π ≤ p]``
+:func:`onetime_cost`                  eq. 10  ``Φ_so(p) = t_s·E[π|π≤p]``
+:func:`expected_interruptions`        eq. 12  ``(T/t_k)·F(p)(1−F(p))``
+:func:`persistent_running_time`       eq. 13  ``T·F(p)``
+:func:`is_interruptible`              eq. 14  ``t_r < t_k/(1−F(p))``
+:func:`persistent_cost`               eq. 15  ``Φ_sp(p)``
+:func:`psi`                           eq. 16  ``ψ(p)`` (Prop. 5)
+:func:`parallel_total_running_time`   eq. 17
+:func:`parallel_completion_time`      eq. 18
+:func:`parallel_cost`                 eq. 19  ``Φ_mp(p)``
+==============================  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from .distributions import PriceDistribution
+from .types import JobSpec, ParallelJobSpec
+
+__all__ = [
+    "expected_uninterrupted_time",
+    "expected_price_paid",
+    "onetime_cost",
+    "expected_interruptions",
+    "persistent_running_time",
+    "persistent_completion_time",
+    "is_interruptible",
+    "persistent_cost",
+    "psi",
+    "parallel_total_running_time",
+    "parallel_completion_time",
+    "parallel_cost",
+    "ondemand_cost",
+]
+
+
+def expected_uninterrupted_time(
+    dist: PriceDistribution, price: float, slot_length: float
+) -> float:
+    """Expected time a bid at ``price`` keeps running before an
+    interruption: ``t_k / (1 − F_π(p))`` (eq. 8).
+
+    Returns ``inf`` when ``F_π(p) == 1`` (the bid always wins).
+    """
+    survive = dist.cdf(price)
+    if survive >= 1.0:
+        return math.inf
+    return slot_length / (1.0 - survive)
+
+
+def expected_price_paid(dist: PriceDistribution, price: float) -> float:
+    """Expected per-hour price charged while running (eq. 9).
+
+    The user is charged the *spot* price, not the bid, so this is
+    ``E[π | π ≤ p]``, which increases monotonically with ``p``.
+    """
+    return dist.conditional_mean_below(price)
+
+
+def onetime_cost(dist: PriceDistribution, price: float, job: JobSpec) -> float:
+    """Expected cost ``Φ_so(p)`` of a one-time request (objective of eq. 10).
+
+    A one-time request either runs to completion or is terminated, so the
+    expected cost conditional on completion is the execution time times
+    the expected price paid.
+    """
+    return job.execution_time * expected_price_paid(dist, price)
+
+
+def expected_interruptions(
+    dist: PriceDistribution, price: float, completion_time: float, slot_length: float
+) -> float:
+    """Expected number of interruptions over ``completion_time`` (eq. 12).
+
+    Each interruption is one idle→running plus one running→idle transition;
+    the per-slot transition probability is ``F(p)(1 − F(p))``.
+    """
+    accept = dist.cdf(price)
+    return (completion_time / slot_length) * accept * (1.0 - accept)
+
+
+def _recovery_slot_fraction(job: JobSpec) -> float:
+    """``r = t_r / t_k`` — recovery time measured in slots."""
+    return job.recovery_time / job.slot_length
+
+
+def is_interruptible(dist: PriceDistribution, price: float, job: JobSpec) -> bool:
+    """Check the interruptibility condition ``t_r < t_k/(1−F(p))`` (eq. 14).
+
+    When it fails, every interruption costs more running time than the job
+    gains between interruptions and the expected running time diverges.
+    """
+    accept = dist.cdf(price)
+    return job.recovery_time * (1.0 - accept) < job.slot_length
+
+
+def persistent_running_time(
+    dist: PriceDistribution, price: float, job: JobSpec
+) -> float:
+    """Expected running time ``T·F(p)`` of a persistent request (eq. 13).
+
+    Returns ``inf`` when the interruptibility condition (eq. 14) fails.
+    Requires ``t_s > t_r``: the job must outlast a single recovery.
+    """
+    if job.execution_time <= job.recovery_time:
+        raise ValueError(
+            f"persistent model needs execution_time > recovery_time, got "
+            f"t_s={job.execution_time} <= t_r={job.recovery_time}"
+        )
+    accept = dist.cdf(price)
+    denom = 1.0 - _recovery_slot_fraction(job) * (1.0 - accept)
+    if denom <= 0.0:
+        return math.inf
+    return (job.execution_time - job.recovery_time) / denom
+
+
+def persistent_completion_time(
+    dist: PriceDistribution, price: float, job: JobSpec
+) -> float:
+    """Expected total completion time ``T`` (running plus idle time).
+
+    ``T = (T·F(p)) / F(p)``; infinite when the bid is never accepted or
+    the job is not interruptible at this bid.
+    """
+    accept = dist.cdf(price)
+    if accept <= 0.0:
+        return math.inf
+    running = persistent_running_time(dist, price, job)
+    return running / accept
+
+
+def persistent_cost(dist: PriceDistribution, price: float, job: JobSpec) -> float:
+    """Expected cost ``Φ_sp(p)`` of a persistent request (eq. 15).
+
+    The product of the expected running time (idle slots are free) and the
+    expected price paid per running hour.  ``inf`` when infeasible.
+    """
+    accept = dist.cdf(price)
+    if accept <= 0.0:
+        return math.inf
+    running = persistent_running_time(dist, price, job)
+    if math.isinf(running):
+        return math.inf
+    return running * dist.partial_expectation(price) / accept
+
+
+def psi(dist: PriceDistribution, price: float) -> float:
+    """Prop. 5's ψ function: ``ψ(p) = F(p)·(S(p)/P(p) − 1)``.
+
+    ``S(p) = ∫ x f dx`` and ``P(p) = ∫ (p − x) f dx``.  The optimal
+    persistent bid solves ``ψ(p) = t_k/t_r − 1``.  When the price PDF is
+    decreasing (F concave) ψ decreases through that target: Φ_sp
+    increases exactly where ``ψ(p) < t_k/t_r − 1`` (the appendix's g(p)
+    changes sign once), so the crossing is the unique interior minimum.
+
+    Returns ``inf`` as ``P(p) → 0`` (p at the bottom of the support) and
+    0 below the support.
+    """
+    accept = dist.cdf(price)
+    if accept <= 0.0:
+        return 0.0
+    below = dist.partial_expectation(price)
+    shortfall = price * accept - below
+    if shortfall <= 0.0:
+        return math.inf
+    return accept * (below / shortfall - 1.0)
+
+
+# ----------------------------------------------------------------------
+# Parallel (slave-only) jobs — Section 6.1
+# ----------------------------------------------------------------------
+
+def _parallel_denominator(
+    dist: PriceDistribution, price: float, job: ParallelJobSpec
+) -> float:
+    accept = dist.cdf(price)
+    return 1.0 - (job.recovery_time / job.slot_length) * (1.0 - accept)
+
+
+def parallel_total_running_time(
+    dist: PriceDistribution, price: float, job: ParallelJobSpec
+) -> float:
+    """Sum of the M instances' expected running times (eq. 17).
+
+    ``Σ_i T_i·F(p) = (t_s + t_o − M·t_r) / (1 − (t_r/t_k)(1 − F(p)))``.
+    Requires positive effective work ``t_s + t_o − M·t_r``.
+    """
+    if job.effective_work <= 0.0:
+        raise ValueError(
+            "effective work t_s + t_o - M*t_r must be positive; splitting "
+            f"into M={job.num_instances} sub-jobs budgets more recovery time "
+            "than the job contains"
+        )
+    denom = _parallel_denominator(dist, price, job)
+    if denom <= 0.0:
+        return math.inf
+    return job.effective_work / denom
+
+
+def parallel_completion_time(
+    dist: PriceDistribution, price: float, job: ParallelJobSpec
+) -> float:
+    """Wall-clock completion time of the parallelized job (eq. 18 / F(p)).
+
+    Eq. 18 gives the slowest sub-job's *running* time
+    ``(t_s + t_o − M·t_r)/(M·(1 − (t_r/t_k)(1 − F(p))))``; dividing by
+    ``F(p)`` adds the expected idle time.
+    """
+    accept = dist.cdf(price)
+    if accept <= 0.0:
+        return math.inf
+    total = parallel_total_running_time(dist, price, job)
+    if math.isinf(total):
+        return math.inf
+    return total / (job.num_instances * accept)
+
+
+def parallel_cost(
+    dist: PriceDistribution, price: float, job: ParallelJobSpec
+) -> float:
+    """Expected cost ``Φ_mp(p)`` of M persistent sub-job requests (eq. 19)."""
+    accept = dist.cdf(price)
+    if accept <= 0.0:
+        return math.inf
+    total = parallel_total_running_time(dist, price, job)
+    if math.isinf(total):
+        return math.inf
+    return total * dist.partial_expectation(price) / accept
+
+
+def ondemand_cost(ondemand_price: float, execution_time: float) -> float:
+    """Cost of running the job on an on-demand instance: ``t_s · π̄``.
+
+    Used as the feasibility ceiling in eqs. 10, 15 and 19 and as the
+    baseline in all of Section 7's comparisons.
+    """
+    if ondemand_price < 0:
+        raise ValueError(f"ondemand_price must be non-negative, got {ondemand_price!r}")
+    if execution_time < 0:
+        raise ValueError(f"execution_time must be non-negative, got {execution_time!r}")
+    return ondemand_price * execution_time

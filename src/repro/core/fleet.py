@@ -1,0 +1,255 @@
+"""Fleet bidding: choosing *which* instance types to bid on.
+
+The paper optimizes the bid price for a given instance type; the obvious
+next question — which Amazon answered two months after SIGCOMM'15 by
+launching Spot Fleet — is how to spread a divisible workload across
+types.  This module extends the Section 5 machinery to that decision:
+
+1. Normalize each type by work throughput (vCPUs): a job of ``W``
+   vCPU-hours takes ``W/vcpus`` wall-hours of execution on one instance.
+2. Compute the optimal persistent bid per type (Prop. 5 is
+   type-independent given the type's price distribution).
+3. Rank types by expected dollar cost per vCPU-hour and allocate.
+
+Two allocation strategies:
+
+* ``"cheapest"`` — everything on the lowest-cost type;
+* ``"diversified"`` — split evenly across the ``k`` cheapest types, so a
+  price spike in one market cannot stall the whole workload (spot
+  markets for different types move independently here, as they largely
+  did on EC2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..errors import InfeasibleBidError, PlanError
+from ..market.price_sources import TracePriceSource
+from ..market.simulator import SpotMarket
+from ..traces.catalog import InstanceType, get_instance_type
+from ..traces.history import SpotPriceHistory
+from .persistent import optimal_persistent_bid
+from .types import BidDecision, BidKind, JobSpec
+
+__all__ = [
+    "FleetOption",
+    "FleetAllocation",
+    "FleetPlan",
+    "FleetRunResult",
+    "rank_fleet_options",
+    "plan_fleet",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetOption:
+    """One instance type's bid, normalized for cross-type comparison."""
+
+    instance_type: InstanceType
+    decision: BidDecision
+    #: Wall-clock execution time of the whole workload on one instance.
+    execution_time: float
+
+    @property
+    def cost_per_vcpu_hour(self) -> float:
+        """Expected dollars per vCPU-hour of useful work."""
+        work = self.execution_time * self.instance_type.vcpus
+        return self.decision.expected_cost / work
+
+    @property
+    def ondemand_cost_per_vcpu_hour(self) -> float:
+        return self.instance_type.on_demand_price / self.instance_type.vcpus
+
+
+@dataclass(frozen=True)
+class FleetAllocation:
+    """A share of the workload assigned to one instance type."""
+
+    instance_type: InstanceType
+    job: JobSpec
+    decision: BidDecision
+    work_vcpu_hours: float
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    allocations: List[FleetAllocation]
+    #: All candidate options, ranked cheapest first (for reporting).
+    ranking: List[FleetOption]
+
+    @property
+    def total_expected_cost(self) -> float:
+        return sum(a.decision.expected_cost for a in self.allocations)
+
+    @property
+    def expected_completion_time(self) -> float:
+        """Allocations run in parallel; the slowest bounds the fleet."""
+        return max(
+            a.decision.expected_completion_time for a in self.allocations
+        )
+
+
+@dataclass(frozen=True)
+class FleetRunResult:
+    """Observed outcome of a fleet run on per-type future traces."""
+
+    completed: bool
+    total_cost: float
+    completion_time: float
+    per_type_cost: Dict[str, float]
+    interruptions: int
+
+
+def _job_for(
+    itype: InstanceType,
+    work_vcpu_hours: float,
+    recovery_time: float,
+    slot_length: float,
+) -> JobSpec:
+    return JobSpec(
+        execution_time=work_vcpu_hours / itype.vcpus,
+        recovery_time=recovery_time,
+        slot_length=slot_length,
+    )
+
+
+def rank_fleet_options(
+    histories: Mapping[str, SpotPriceHistory],
+    *,
+    work_vcpu_hours: float,
+    recovery_time: float = 0.0,
+) -> List[FleetOption]:
+    """Rank candidate instance types by expected cost per vCPU-hour.
+
+    ``histories`` maps catalog type names to their price histories; types
+    whose bid problem is infeasible are dropped from the ranking.
+    """
+    if work_vcpu_hours <= 0:
+        raise PlanError(f"work must be positive, got {work_vcpu_hours!r}")
+    if not histories:
+        raise PlanError("need at least one candidate instance type")
+    options = []
+    for name, history in histories.items():
+        itype = get_instance_type(name)
+        job = _job_for(itype, work_vcpu_hours, recovery_time, history.slot_length)
+        try:
+            decision = optimal_persistent_bid(
+                history.to_distribution(), job,
+                ondemand_price=itype.on_demand_price,
+            )
+        except InfeasibleBidError:
+            continue
+        options.append(
+            FleetOption(
+                instance_type=itype,
+                decision=decision,
+                execution_time=job.execution_time,
+            )
+        )
+    if not options:
+        raise InfeasibleBidError("no candidate type admits a feasible bid")
+    options.sort(key=lambda o: o.cost_per_vcpu_hour)
+    return options
+
+
+def plan_fleet(
+    histories: Mapping[str, SpotPriceHistory],
+    *,
+    work_vcpu_hours: float,
+    recovery_time: float = 0.0,
+    strategy: str = "diversified",
+    max_types: int = 3,
+) -> FleetPlan:
+    """Allocate the workload across instance types.
+
+    ``strategy="cheapest"`` puts everything on the best-ranked type;
+    ``"diversified"`` splits evenly across the ``max_types`` cheapest.
+    """
+    if strategy not in {"cheapest", "diversified"}:
+        raise PlanError(f"unknown strategy {strategy!r}")
+    if max_types < 1:
+        raise PlanError(f"max_types must be >= 1, got {max_types!r}")
+    ranking = rank_fleet_options(
+        histories, work_vcpu_hours=work_vcpu_hours, recovery_time=recovery_time
+    )
+    chosen = ranking[:1] if strategy == "cheapest" else ranking[:max_types]
+    # Work splits proportionally to capacity (vCPUs), so every allocation
+    # has the same wall-clock execution time — real Spot Fleet's
+    # capacity-weighted distribution.
+    total_vcpus = sum(o.instance_type.vcpus for o in chosen)
+    allocations = []
+    for option in chosen:
+        share = work_vcpu_hours * option.instance_type.vcpus / total_vcpus
+        history = histories[option.instance_type.name]
+        job = _job_for(
+            option.instance_type, share, recovery_time, history.slot_length
+        )
+        decision = optimal_persistent_bid(
+            history.to_distribution(), job,
+            ondemand_price=option.instance_type.on_demand_price,
+        )
+        allocations.append(
+            FleetAllocation(
+                instance_type=option.instance_type,
+                job=job,
+                decision=decision,
+                work_vcpu_hours=share,
+            )
+        )
+    return FleetPlan(allocations=allocations, ranking=ranking)
+
+
+def run_fleet(
+    plan: FleetPlan,
+    futures: Mapping[str, SpotPriceHistory],
+    *,
+    start_slot: int = 0,
+) -> FleetRunResult:
+    """Execute every allocation on its own market, in lockstep.
+
+    Each allocation's type must have a future trace in ``futures``.
+    """
+    markets: Dict[str, SpotMarket] = {}
+    requests: Dict[str, int] = {}
+    for alloc in plan.allocations:
+        name = alloc.instance_type.name
+        if name not in futures:
+            raise PlanError(f"no future trace supplied for {name!r}")
+        market = SpotMarket(
+            TracePriceSource(futures[name], start_slot=start_slot),
+            slot_length=alloc.job.slot_length,
+        )
+        markets[name] = market
+        requests[name] = market.submit(
+            bid_price=alloc.decision.price,
+            work=alloc.job.execution_time,
+            kind=BidKind.PERSISTENT,
+            recovery_time=alloc.job.recovery_time,
+            label=name,
+        )
+
+    budget = min(f.n_slots - start_slot for f in futures.values())
+    for _step in range(budget):
+        if not any(m.has_active_requests() for m in markets.values()):
+            break
+        for market in markets.values():
+            if market.has_active_requests():
+                market.step()
+
+    outcomes = {
+        name: markets[name].outcome(rid) for name, rid in requests.items()
+    }
+    completed = all(o.completed for o in outcomes.values())
+    finish_times = [
+        o.completion_time for o in outcomes.values() if o.completion_time
+    ]
+    return FleetRunResult(
+        completed=completed,
+        total_cost=sum(o.cost for o in outcomes.values()),
+        completion_time=max(finish_times) if finish_times else float("nan"),
+        per_type_cost={n: o.cost for n, o in outcomes.items()},
+        interruptions=sum(o.interruptions for o in outcomes.values()),
+    )

@@ -1,0 +1,110 @@
+"""Baseline bidding heuristics the paper compares against (Section 7.1).
+
+* :func:`percentile_bid` — bid a fixed percentile of the historical spot
+  prices (the paper evaluates the 90th percentile and shows it saves less
+  than the optimal bid).
+* :func:`retrospective_best_price` — the "best offline price in
+  retrospect": search the last 10 hours of history for the minimal price
+  that would have consistently exceeded the spot price for one hour.  The
+  paper shows this price can be *below* the optimal one-time bid, i.e.
+  bidding it risks termination — 10 hours of history is insufficient.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from . import costs
+from .distributions import PriceDistribution
+from .types import BidDecision, BidKind, JobSpec
+
+__all__ = ["percentile_bid", "retrospective_best_price"]
+
+
+def percentile_bid(
+    dist: PriceDistribution,
+    job: JobSpec,
+    *,
+    percentile: float = 90.0,
+    kind: BidKind = BidKind.PERSISTENT,
+) -> BidDecision:
+    """Bid the given percentile of the spot-price distribution.
+
+    The decision's expected quantities are evaluated with the same model
+    as the optimal strategies so the comparison in Figure 6 is apples to
+    apples.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile!r}")
+    price = dist.ppf(percentile / 100.0)
+    accept = dist.cdf(price)
+
+    if kind is BidKind.ONE_TIME:
+        expected_cost = costs.onetime_cost(dist, price, job)
+        completion = (
+            job.slot_length * (1.0 / accept - 1.0) + job.execution_time
+            if accept > 0.0
+            else math.inf
+        )
+        running: Optional[float] = job.execution_time
+        interruptions: Optional[float] = 0.0
+    else:
+        expected_cost = costs.persistent_cost(dist, price, job)
+        completion = costs.persistent_completion_time(dist, price, job)
+        running = costs.persistent_running_time(dist, price, job)
+        interruptions = (
+            costs.expected_interruptions(dist, price, completion, job.slot_length)
+            if math.isfinite(completion)
+            else math.inf
+        )
+
+    return BidDecision(
+        price=price,
+        kind=kind,
+        expected_cost=expected_cost if math.isfinite(expected_cost) else float("inf"),
+        expected_completion_time=completion,
+        expected_running_time=running,
+        expected_interruptions=interruptions,
+        acceptance_probability=accept,
+    )
+
+
+def retrospective_best_price(
+    prices: Sequence[float],
+    *,
+    lookback_slots: int = 120,
+    run_slots: int = 12,
+) -> float:
+    """The "best offline price in retrospect" heuristic (§7.1).
+
+    Over the last ``lookback_slots`` observations (default 10 hours of
+    5-minute slots), find — for every window of ``run_slots`` consecutive
+    slots (default one hour) — the minimal bid that would have survived
+    that window, namely the window's maximum price.  Return the smallest
+    such bid over all windows: the cheapest price that *would have* kept
+    an instance running for one uninterrupted hour somewhere in the recent
+    past.
+
+    Raises :class:`TraceError` if fewer than ``run_slots`` observations
+    are available.
+    """
+    if run_slots < 1:
+        raise ValueError(f"run_slots must be >= 1, got {run_slots!r}")
+    if lookback_slots < run_slots:
+        raise ValueError(
+            f"lookback_slots ({lookback_slots}) must be >= run_slots ({run_slots})"
+        )
+    arr = np.asarray(prices, dtype=float)
+    if arr.ndim != 1:
+        raise TraceError("prices must be a 1-D sequence")
+    if arr.size < run_slots:
+        raise TraceError(
+            f"need at least {run_slots} price observations, got {arr.size}"
+        )
+    window = arr[-lookback_slots:]
+    views = np.lib.stride_tricks.sliding_window_view(window, run_slots)
+    return float(views.max(axis=1).min())

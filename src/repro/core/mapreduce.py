@@ -1,0 +1,294 @@
+"""Bidding for MapReduce jobs (Section 6).
+
+Two strategies are composed here:
+
+* **Slave nodes** (§6.1): the job is split into ``M`` equal sub-jobs, one
+  persistent request each, sharing a single bid price.  The cost Φ_mp
+  (eq. 19) is the persistent cost Φ_sp (eq. 15) with the numerator
+  ``t_s − t_r`` replaced by the effective work ``t_s + t_o − M·t_r``, so
+  the *optimal bid price is identical* to the single-instance persistent
+  bid and we reuse that machinery through an equivalent ``JobSpec``.
+
+* **Master node** (§6.2): one one-time request that must outlive the
+  slaves.  Its required runtime comes from eq. 20's first constraint; the
+  bid follows Prop. 4 with that runtime as the execution time.
+
+The extracted paper text is ambiguous about one factor in eq. 20 (see
+DESIGN.md §2); we take the worst-case sub-job completion time from eq. 18
+divided by ``F_v(p_v)`` and subtract the printed slack term
+``(M−1)·t_k/(1−F_v(p_v))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import InfeasibleBidError, PlanError
+from . import costs
+from .distributions import PriceDistribution
+from .onetime import optimal_onetime_bid
+from .persistent import optimal_persistent_bid
+from .types import (
+    BidDecision,
+    BidKind,
+    JobSpec,
+    MapReduceJobSpec,
+    MapReducePlan,
+    ParallelJobSpec,
+)
+
+__all__ = [
+    "equivalent_single_job",
+    "optimal_parallel_bid",
+    "parallel_speedup_condition",
+    "required_master_time",
+    "minimum_slaves",
+    "plan_master_slave",
+    "plan_with_optimal_slaves",
+]
+
+#: Upper bound on the slave-count search in :func:`plan_with_optimal_slaves`.
+_MAX_SLAVES_SEARCH = 64
+
+
+def equivalent_single_job(job: ParallelJobSpec) -> JobSpec:
+    """Map a parallel job onto a single-instance job with the same Φ shape.
+
+    Φ_mp(p) equals Φ_sp(p) of a job with ``t_s' − t_r = t_s + t_o − M·t_r``,
+    i.e. ``t_s' = effective_work + t_r``.  Optimizing that equivalent job
+    therefore yields both the optimal slave bid and (after scaling) all of
+    eq. 17–19's quantities.
+    """
+    if job.effective_work <= 0.0:
+        raise InfeasibleBidError(
+            f"splitting into M={job.num_instances} sub-jobs budgets more "
+            f"recovery ({job.num_instances}×{job.recovery_time:.6g}h) than the "
+            f"job's work ({job.execution_time + job.overhead_time:.6g}h)"
+        )
+    return JobSpec(
+        execution_time=job.effective_work + job.recovery_time,
+        recovery_time=job.recovery_time,
+        slot_length=job.slot_length,
+    )
+
+
+def optimal_parallel_bid(
+    dist: PriceDistribution,
+    job: ParallelJobSpec,
+    *,
+    ondemand_price: Optional[float] = None,
+    method: str = "auto",
+) -> BidDecision:
+    """Solve eq. 19: the shared bid price for ``M`` persistent sub-jobs.
+
+    Returns a :class:`BidDecision` whose expected quantities describe the
+    whole parallel job: ``expected_cost`` is Φ_mp summed over instances,
+    ``expected_completion_time`` is the slowest sub-job's wall-clock time
+    (eq. 18 divided by ``F(p)``).
+    """
+    surrogate = equivalent_single_job(job)
+    inner = optimal_persistent_bid(dist, surrogate, method=method)
+    price = inner.price
+
+    expected_cost = costs.parallel_cost(dist, price, job)
+    if ondemand_price is not None:
+        ceiling = costs.ondemand_cost(ondemand_price, job.execution_time)
+        if expected_cost > ceiling * (1.0 + 1e-12):
+            raise InfeasibleBidError(
+                f"parallel spot cost {expected_cost:.6g} exceeds the "
+                f"on-demand cost {ceiling:.6g} (eq. 19 constraint)"
+            )
+
+    completion = costs.parallel_completion_time(dist, price, job)
+    total_running = costs.parallel_total_running_time(dist, price, job)
+    interruptions = (
+        job.num_instances
+        * costs.expected_interruptions(dist, price, completion, job.slot_length)
+        if math.isfinite(completion)
+        else math.inf
+    )
+    return BidDecision(
+        price=price,
+        kind=BidKind.PERSISTENT,
+        expected_cost=expected_cost,
+        expected_completion_time=completion,
+        expected_running_time=total_running,
+        expected_interruptions=interruptions,
+        acceptance_probability=dist.cdf(price),
+    )
+
+
+def parallel_speedup_condition(
+    dist: PriceDistribution, price: float, job: ParallelJobSpec
+) -> bool:
+    """Section 6.1's condition for splitting to shorten completion time:
+
+    ``t_o < (M − 1)·t_k / (1 − F_π(p))``.
+
+    Always true for ``t_o == 0`` and ``M > 1``; for ``M == 1`` splitting is
+    a no-op and this returns ``t_o <= 0``... strictly, ``t_o < 0`` is
+    impossible, so M == 1 with overhead never "speeds up".
+    """
+    accept = dist.cdf(price)
+    if accept >= 1.0:
+        return job.num_instances > 1 or job.overhead_time == 0.0
+    bound = (job.num_instances - 1) * job.slot_length / (1.0 - accept)
+    return job.overhead_time < bound
+
+
+def required_master_time(
+    slave_dist: PriceDistribution,
+    slave_price: float,
+    job: ParallelJobSpec,
+    *,
+    include_slack: bool = True,
+) -> float:
+    """The master runtime demanded by eq. 20's first constraint (hours).
+
+    The leading term is the worst-case sub-job completion time — eq. 18
+    divided by ``F_v(p_v)`` to account for idle slots; ``include_slack``
+    subtracts the printed ``(M−1)·t_k/(1−F_v(p_v))`` term, which credits
+    the master for the time the slowest slaves spend waiting on each
+    other.  The result may be non-positive for large ``M``, meaning any
+    master bid satisfies the constraint.
+    """
+    completion = costs.parallel_completion_time(slave_dist, slave_price, job)
+    if not include_slack:
+        return completion
+    accept = slave_dist.cdf(slave_price)
+    if accept >= 1.0:
+        return completion
+    slack = (job.num_instances - 1) * job.slot_length / (1.0 - accept)
+    return completion - slack
+
+
+def minimum_slaves(
+    master_dist: PriceDistribution,
+    slave_dist: PriceDistribution,
+    job: MapReduceJobSpec,
+    master_price: float,
+    *,
+    max_search: int = _MAX_SLAVES_SEARCH,
+) -> int:
+    """Smallest ``M`` for which eq. 20's first constraint holds.
+
+    The master's expected uninterrupted time at ``master_price``
+    (eq. 8) must cover :func:`required_master_time`.  The paper observes
+    this minimum "can be as low as 3 or 4" (§6.2).
+
+    Raises :class:`PlanError` when no ``M <= max_search`` works.
+    """
+    capability = costs.expected_uninterrupted_time(
+        master_dist, master_price, job.slot_length
+    )
+    for m in range(1, max_search + 1):
+        candidate = job.with_slaves(m).slaves_spec
+        if candidate.effective_work <= 0.0:
+            # Larger M only shrinks effective work further.
+            break
+        try:
+            slave_bid = optimal_parallel_bid(slave_dist, candidate)
+        except InfeasibleBidError:
+            continue
+        required = required_master_time(slave_dist, slave_bid.price, candidate)
+        if required <= capability:
+            return m
+    raise PlanError(
+        f"no slave count in [1, {max_search}] satisfies eq. 20's master "
+        f"runtime constraint at master bid {master_price:.6g}"
+    )
+
+
+def plan_master_slave(
+    master_dist: PriceDistribution,
+    slave_dist: PriceDistribution,
+    job: MapReduceJobSpec,
+    *,
+    master_ondemand: Optional[float] = None,
+    slave_ondemand: Optional[float] = None,
+    method: str = "auto",
+) -> MapReducePlan:
+    """Solve eq. 20: joint bids for the master and ``M`` slave nodes.
+
+    Following the paper's decomposition, the slave bid is set first (it is
+    independent of the master), the master's required runtime is derived
+    from the slaves' worst-case completion time, and the master then bids
+    as a one-time request (Prop. 4) for that runtime.
+    """
+    slaves = job.slaves_spec
+    slave_bid = optimal_parallel_bid(
+        slave_dist, slaves, ondemand_price=slave_ondemand, method=method
+    )
+
+    # The master must stay up for the slaves' full wall-clock completion
+    # (the no-slack requirement); the slack-adjusted value is reported for
+    # the constraint bookkeeping.
+    master_runtime = required_master_time(
+        slave_dist, slave_bid.price, slaves, include_slack=False
+    )
+    if not math.isfinite(master_runtime) or master_runtime <= 0.0:
+        raise PlanError(
+            f"slave plan yields non-finite completion time {master_runtime!r}; "
+            "cannot size the master request"
+        )
+    master_job = JobSpec(
+        execution_time=master_runtime, slot_length=job.slot_length
+    )
+    master_bid = optimal_onetime_bid(
+        master_dist, master_job, ondemand_price=master_ondemand
+    )
+
+    constraint_time = required_master_time(
+        slave_dist, slave_bid.price, slaves, include_slack=True
+    )
+    min_m = minimum_slaves(master_dist, slave_dist, job, master_bid.price)
+
+    return MapReducePlan(
+        job=job,
+        master_bid=master_bid,
+        slave_bid=slave_bid,
+        required_master_time=constraint_time,
+        min_slaves=min_m,
+    )
+
+
+def plan_with_optimal_slaves(
+    master_dist: PriceDistribution,
+    slave_dist: PriceDistribution,
+    job: MapReduceJobSpec,
+    *,
+    master_ondemand: Optional[float] = None,
+    slave_ondemand: Optional[float] = None,
+    max_slaves: int = _MAX_SLAVES_SEARCH,
+) -> MapReducePlan:
+    """Sweep the slave count ``M`` and return the cheapest feasible plan.
+
+    Only plans with ``M >= min_slaves`` (eq. 20 feasibility) compete; the
+    total expected cost Φ_so(p_m) + Φ_mp(p_v) is minimized, breaking ties
+    toward fewer slaves.
+    """
+    best: Optional[MapReducePlan] = None
+    for m in range(1, max_slaves + 1):
+        candidate_job = job.with_slaves(m)
+        if candidate_job.slaves_spec.effective_work <= 0.0:
+            break
+        try:
+            plan = plan_master_slave(
+                master_dist,
+                slave_dist,
+                candidate_job,
+                master_ondemand=master_ondemand,
+                slave_ondemand=slave_ondemand,
+            )
+        except (InfeasibleBidError, PlanError):
+            continue
+        if m < plan.min_slaves:
+            continue
+        if best is None or plan.total_expected_cost < best.total_expected_cost:
+            best = plan
+    if best is None:
+        raise PlanError(
+            f"no feasible master/slave plan with at most {max_slaves} slaves"
+        )
+    return best

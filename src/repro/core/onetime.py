@@ -1,0 +1,105 @@
+"""Optimal bidding for one-time spot requests (Section 5.1, Prop. 4).
+
+A one-time request is terminated permanently the first time the spot price
+exceeds the bid, so the user wants the cheapest bid whose expected
+uninterrupted running time (eq. 8) covers the whole execution time:
+
+    p* = max(π_min, F_π⁻¹(1 − t_k/t_s))           (eq. 11)
+
+Because the expected price paid ``E[π | π ≤ p]`` increases with ``p``
+(Prop. 4's proof), the cheapest *feasible* bid is optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import InfeasibleBidError
+from . import costs
+from .distributions import PriceDistribution
+from .types import BidDecision, BidKind, JobSpec
+
+__all__ = ["onetime_target_quantile", "optimal_onetime_bid"]
+
+
+def onetime_target_quantile(job: JobSpec) -> float:
+    """The quantile ``1 − t_k/t_s`` of eq. 11, clamped at 0.
+
+    Jobs no longer than one time slot (``t_s <= t_k``) never span a price
+    change, so they can safely bid the minimum spot price.
+    """
+    return max(0.0, 1.0 - job.slot_length / job.execution_time)
+
+
+def optimal_onetime_bid(
+    dist: PriceDistribution,
+    job: JobSpec,
+    *,
+    ondemand_price: Optional[float] = None,
+) -> BidDecision:
+    """Solve eq. 10 and return the optimal one-time bid (Prop. 4).
+
+    Parameters
+    ----------
+    dist:
+        The spot-price distribution ``F_π`` predicted from history.
+    job:
+        The job; only ``execution_time`` and ``slot_length`` matter
+        (a one-time request never recovers, so ``recovery_time`` is
+        irrelevant here).
+    ondemand_price:
+        ``π̄``.  When given, enforce the constraint
+        ``Φ_so(p*) ≤ t_s·π̄`` and cap the bid at ``π̄`` — a rational user
+        would otherwise just use an on-demand instance.
+
+    Raises
+    ------
+    InfeasibleBidError
+        If the required acceptance quantile cannot be met with a bid at or
+        below the on-demand price, or if even the optimal spot bid costs
+        more than on demand.
+    """
+    quantile = onetime_target_quantile(job)
+    price = max(dist.lower, dist.ppf(quantile))
+    if dist.cdf(price) <= 0.0:
+        # Continuous distributions assign zero acceptance probability to
+        # the floor itself; the optimum is then an infimum, so take the
+        # ε-optimal bid at a tiny but positive acceptance quantile.
+        price = dist.ppf(max(quantile, 1e-6))
+
+    if ondemand_price is not None:
+        if price > ondemand_price:
+            raise InfeasibleBidError(
+                f"one-time bid requires price {price:.6g} above the "
+                f"on-demand price {ondemand_price:.6g}; the job is too long "
+                "to protect from interruption on a spot instance"
+            )
+
+    expected_cost = costs.onetime_cost(dist, price, job)
+    if ondemand_price is not None:
+        ceiling = costs.ondemand_cost(ondemand_price, job.execution_time)
+        if expected_cost > ceiling * (1.0 + 1e-12):
+            raise InfeasibleBidError(
+                f"expected spot cost {expected_cost:.6g} exceeds the "
+                f"on-demand cost {ceiling:.6g}"
+            )
+
+    accept = dist.cdf(price)
+    # The request idles (pending) until its first acceptance: geometric
+    # waiting time with success probability F(p), then runs for t_s.
+    if accept > 0.0:
+        expected_wait = job.slot_length * (1.0 / accept - 1.0)
+        completion = expected_wait + job.execution_time
+    else:  # pragma: no cover - guarded by the quantile construction
+        completion = math.inf
+
+    return BidDecision(
+        price=price,
+        kind=BidKind.ONE_TIME,
+        expected_cost=expected_cost,
+        expected_completion_time=completion,
+        expected_running_time=job.execution_time,
+        expected_interruptions=0.0,
+        acceptance_probability=accept,
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the spot-bidding reproduction.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DistributionError(ReproError):
+    """A price or arrival distribution was constructed or queried invalidly."""
+
+
+class SupportError(DistributionError):
+    """A query fell outside the support of a distribution."""
+
+
+class InfeasibleBidError(ReproError):
+    """No bid price satisfies the optimization problem's constraints.
+
+    Raised, for example, when a job's recovery time violates the
+    interruptibility condition (eq. 14) at every admissible bid price, or
+    when every spot bid would cost more than running on demand.
+    """
+
+
+class FittingError(ReproError):
+    """Least-squares fitting of the spot-price PDF failed to converge."""
+
+
+class MarketError(ReproError):
+    """The spot-market simulator was driven into an invalid state."""
+
+
+class TraceError(ReproError):
+    """A spot-price trace is malformed (unsorted, negative prices, ...)."""
+
+
+class CatalogError(ReproError):
+    """An unknown instance type was requested from the catalog."""
+
+
+class PlanError(ReproError):
+    """A MapReduce bidding plan is inconsistent or infeasible."""

@@ -1,0 +1,45 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per artifact; each exposes ``run(config) -> Result`` where the
+result renders the paper-style rows via ``table()``:
+
+================================  =======================================
+:mod:`.fig3_price_pdf`            Figure 3 — spot-price PDF fits
+:mod:`.fig4_job_timeline`         Figure 4 — example persistent job run
+:mod:`.table3_bid_prices`         Table 3 — optimal bid prices
+:mod:`.fig5_onetime_costs`        Figure 5 — one-time vs on-demand cost
+:mod:`.fig6_persistent_vs_onetime`  Figure 6 — persistent vs one-time
+:mod:`.table4_mapreduce_plans`    Table 4 — MapReduce client settings
+:mod:`.fig7_mapreduce_costs`      Figure 7 — MapReduce spot vs on-demand
+:mod:`.queue_stability`           Props. 1–3 — stability & equilibrium
+:mod:`.ablations`                 design ablations (β, t_r, M, texture)
+================================  =======================================
+"""
+
+from . import (
+    ablations,
+    fig3_price_pdf,
+    fig4_job_timeline,
+    fig5_onetime_costs,
+    fig6_persistent_vs_onetime,
+    fig7_mapreduce_costs,
+    queue_stability,
+    table3_bid_prices,
+    table4_mapreduce_plans,
+)
+from .common import FAST_CONFIG, FULL_CONFIG, ExperimentConfig
+
+__all__ = [
+    "ablations",
+    "fig3_price_pdf",
+    "fig4_job_timeline",
+    "fig5_onetime_costs",
+    "fig6_persistent_vs_onetime",
+    "fig7_mapreduce_costs",
+    "queue_stability",
+    "table3_bid_prices",
+    "table4_mapreduce_plans",
+    "FAST_CONFIG",
+    "FULL_CONFIG",
+    "ExperimentConfig",
+]

@@ -1,0 +1,98 @@
+"""One-shot regeneration of every paper artifact as a markdown report.
+
+``repro-bid experiment all --out report.md`` (or
+:func:`generate_report`) runs the full evaluation suite and renders a
+single document mirroring EXPERIMENTS.md's structure — useful for
+re-validating the reproduction after any change to the substrates.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Optional, TextIO
+
+from . import (
+    ablations,
+    fig3_price_pdf,
+    fig4_job_timeline,
+    fig5_onetime_costs,
+    fig6_persistent_vs_onetime,
+    fig7_mapreduce_costs,
+    queue_stability,
+    table3_bid_prices,
+    table4_mapreduce_plans,
+)
+from .common import ExperimentConfig, FULL_CONFIG
+
+__all__ = ["generate_report"]
+
+_SECTIONS = (
+    ("Figure 3 — spot-price PDF fits", fig3_price_pdf),
+    ("Figure 4 — example job timeline", fig4_job_timeline),
+    ("Table 3 — optimal bid prices", table3_bid_prices),
+    ("Figure 5 — one-time vs on-demand", fig5_onetime_costs),
+    ("Figure 6 — persistent vs one-time", fig6_persistent_vs_onetime),
+    ("Table 4 — MapReduce plans", table4_mapreduce_plans),
+    ("Figure 7 — MapReduce vs on-demand", fig7_mapreduce_costs),
+    ("Propositions 1–3 — queue stability", queue_stability),
+)
+
+
+def _write_section(out: TextIO, title: str, body: str, elapsed: float) -> None:
+    out.write(f"## {title}\n\n")
+    out.write("```\n")
+    out.write(body.rstrip("\n"))
+    out.write("\n```\n\n")
+    out.write(f"_regenerated in {elapsed:.1f}s_\n\n")
+
+
+def generate_report(
+    config: ExperimentConfig = FULL_CONFIG,
+    *,
+    include_ablations: bool = True,
+    stream: Optional[TextIO] = None,
+) -> str:
+    """Run every experiment and return (and optionally stream) markdown."""
+    out = stream if stream is not None else io.StringIO()
+    out.write("# Reproduction report — 'How to Bid the Cloud'\n\n")
+    out.write(
+        f"Configuration: {config.history_days:g}-day histories, "
+        f"{config.repetitions} repetitions, seed {config.seed}.\n\n"
+    )
+    for title, module in _SECTIONS:
+        start = time.perf_counter()
+        result = module.run(config)
+        elapsed = time.perf_counter() - start
+        body = result.table() if hasattr(result, "table") else ""
+        if module is fig4_job_timeline:
+            body = (
+                f"bid ${result.bid_price:.4f}/h  "
+                f"interruptions {result.outcome.interruptions}\n"
+                + result.ascii_timeline()
+            )
+        _write_section(out, title, body, elapsed)
+
+    if include_ablations:
+        studies = (
+            ("Ablation — provider weight β", lambda: ablations.beta_sweep()),
+            ("Ablation — recovery time t_r", lambda: ablations.recovery_sweep(config)),
+            ("Ablation — slave count M", lambda: ablations.slave_count_sweep(config)),
+            ("Ablation — temporal texture", lambda: ablations.temporal_texture(config)),
+            ("Ablation — billing policy", lambda: ablations.billing_comparison(config)),
+            ("Ablation — forecasting", lambda: ablations.forecasting_comparison(config)),
+            ("Ablation — checkpoint interval", lambda: ablations.checkpoint_sweep(config)),
+            ("Ablation — adaptive re-bidding", lambda: ablations.adaptive_rebidding(config)),
+            ("Ablation — fleet allocation", lambda: ablations.fleet_allocation(config)),
+            ("Ablation — scheduling policy", lambda: ablations.scheduling_policy(config)),
+            ("Ablation — history length", lambda: ablations.history_length_sensitivity(config)),
+        )
+        for title, runner in studies:
+            start = time.perf_counter()
+            result = runner()
+            elapsed = time.perf_counter() - start
+            _write_section(out, title, result.table(), elapsed)
+
+    if stream is None:
+        return out.getvalue()
+    return ""

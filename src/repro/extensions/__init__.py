@@ -1,0 +1,66 @@
+"""Section 8 extensions, implemented: risk-averse bidding, temporally
+correlated prices, collective (multi-user) bidding, and dependent-task
+(DAG) bidding."""
+
+from .collective import (
+    CollectiveOutcome,
+    CollectiveRound,
+    StrategicClass,
+    iterate_collective_bidding,
+)
+from .correlated import (
+    autocorrelation,
+    expected_interruptions_markov,
+    interruption_reduction_factor,
+    lag1_price_persistence,
+)
+from .checkpointing import (
+    CheckpointPlan,
+    CheckpointPolicy,
+    effective_job,
+    optimize_checkpoint_interval,
+)
+from .dag import DagPlan, DagRunResult, TaskGraph, plan_dag, run_dag_on_trace
+from .forecasting import Ar1Forecaster, EwmaForecaster, PriceForecaster, forecast_bid
+from .spot_blocks import (
+    PurchasingOption,
+    block_price,
+    compare_purchasing_options,
+)
+from .risk import (
+    conditional_price_variance,
+    deadline_chance_bid,
+    deadline_miss_probability,
+    variance_bounded_bid,
+)
+
+__all__ = [
+    "CollectiveOutcome",
+    "CollectiveRound",
+    "StrategicClass",
+    "iterate_collective_bidding",
+    "autocorrelation",
+    "expected_interruptions_markov",
+    "interruption_reduction_factor",
+    "lag1_price_persistence",
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "effective_job",
+    "optimize_checkpoint_interval",
+    "DagPlan",
+    "DagRunResult",
+    "TaskGraph",
+    "plan_dag",
+    "run_dag_on_trace",
+    "Ar1Forecaster",
+    "EwmaForecaster",
+    "PriceForecaster",
+    "forecast_bid",
+    "PurchasingOption",
+    "block_price",
+    "compare_purchasing_options",
+    "conditional_price_variance",
+    "deadline_chance_bid",
+    "deadline_miss_probability",
+    "variance_bounded_bid",
+]

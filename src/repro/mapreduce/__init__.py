@@ -1,0 +1,20 @@
+"""MapReduce substrate: workloads, master-side scheduling, and the
+dual-market runner used by the Section 7.2 experiments."""
+
+from .job import MapReduceWorkload, WordCountWorkload
+from .runner import MapReduceRunResult, ondemand_baseline, run_plan_on_traces
+from .scheduler import MapReduceScheduler, SubJob
+from .tasks import TaskPool, TaskPoolRunResult, run_task_pool_on_trace
+
+__all__ = [
+    "MapReduceWorkload",
+    "WordCountWorkload",
+    "MapReduceRunResult",
+    "ondemand_baseline",
+    "run_plan_on_traces",
+    "MapReduceScheduler",
+    "SubJob",
+    "TaskPool",
+    "TaskPoolRunResult",
+    "run_task_pool_on_trace",
+]

@@ -1,0 +1,111 @@
+"""MapReduce workload models (Section 3.1, Section 7.2).
+
+The paper's EMR experiment runs "Common Crawl Word Count" — an
+embarrassingly parallel map phase over web-crawl splits plus a small
+reduce.  For the simulator all that matters is how much instance time the
+job consumes and how it splits across slaves, so a workload reduces to a
+:class:`~repro.core.types.MapReduceJobSpec` via :meth:`to_job_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import DEFAULT_SLOT_HOURS
+from ..core.types import MapReduceJobSpec
+from ..errors import PlanError
+
+__all__ = ["MapReduceWorkload", "WordCountWorkload"]
+
+
+@dataclass(frozen=True)
+class MapReduceWorkload:
+    """A generic MapReduce workload measured in instance-hours.
+
+    Parameters
+    ----------
+    map_hours:
+        Total map-phase work on a single reference instance, hours.
+    reduce_hours:
+        Reduce-phase work (runs after all maps), hours.
+    split_overhead:
+        ``t_o`` — constant coordination overhead added when the job is
+        split across slaves (message passing, shuffle setup), hours.
+    recovery_time:
+        ``t_r`` — per-interruption recovery, hours.
+    """
+
+    map_hours: float
+    reduce_hours: float = 0.0
+    split_overhead: float = 0.0
+    recovery_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.map_hours <= 0:
+            raise PlanError(f"map_hours must be positive, got {self.map_hours!r}")
+        if self.reduce_hours < 0 or self.split_overhead < 0 or self.recovery_time < 0:
+            raise PlanError(
+                "reduce_hours, split_overhead and recovery_time must be "
+                f"non-negative, got {self.reduce_hours!r}, "
+                f"{self.split_overhead!r}, {self.recovery_time!r}"
+            )
+
+    @property
+    def execution_time(self) -> float:
+        """``t_s`` — total single-instance execution time, hours."""
+        return self.map_hours + self.reduce_hours
+
+    def to_job_spec(
+        self, num_slaves: int, *, slot_length: float = DEFAULT_SLOT_HOURS
+    ) -> MapReduceJobSpec:
+        """Bind the workload to a cluster size ``M``."""
+        return MapReduceJobSpec(
+            execution_time=self.execution_time,
+            num_slaves=num_slaves,
+            overhead_time=self.split_overhead,
+            recovery_time=self.recovery_time,
+            slot_length=slot_length,
+        )
+
+
+@dataclass(frozen=True)
+class WordCountWorkload:
+    """The Common Crawl word-count workload, parameterized physically.
+
+    ``corpus_gib / throughput_gib_per_hour`` gives the map time; word
+    count's reduce is tiny (a merge of term counts), modeled as a fixed
+    fraction of the map time.
+    """
+
+    corpus_gib: float
+    throughput_gib_per_hour: float
+    reduce_fraction: float = 0.05
+    split_overhead: float = 60.0 / 3600.0
+    recovery_time: float = 30.0 / 3600.0
+
+    def __post_init__(self) -> None:
+        if self.corpus_gib <= 0 or self.throughput_gib_per_hour <= 0:
+            raise PlanError(
+                "corpus_gib and throughput_gib_per_hour must be positive, got "
+                f"{self.corpus_gib!r}, {self.throughput_gib_per_hour!r}"
+            )
+        if not 0.0 <= self.reduce_fraction < 1.0:
+            raise PlanError(
+                f"reduce_fraction must be in [0, 1), got {self.reduce_fraction!r}"
+            )
+
+    def to_workload(self) -> MapReduceWorkload:
+        """Convert to instance-hour terms."""
+        map_hours = self.corpus_gib / self.throughput_gib_per_hour
+        return MapReduceWorkload(
+            map_hours=map_hours,
+            reduce_hours=map_hours * self.reduce_fraction,
+            split_overhead=self.split_overhead,
+            recovery_time=self.recovery_time,
+        )
+
+    def to_job_spec(
+        self, num_slaves: int, *, slot_length: float = DEFAULT_SLOT_HOURS
+    ) -> MapReduceJobSpec:
+        """Bind the workload to a cluster size ``M``."""
+        return self.to_workload().to_job_spec(num_slaves, slot_length=slot_length)

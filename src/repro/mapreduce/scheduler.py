@@ -1,0 +1,105 @@
+"""Master-side task tracking for a spot-backed MapReduce cluster.
+
+The scheduler models what the paper's master node does (Section 3.1):
+hand each slave an equal share of the work, watch slave progress, and
+declare the job done when every sub-job completes.  Slave interruptions
+are survivable (persistent requests checkpoint to a save volume); a
+*master* interruption is the catastrophic case the one-time bid is chosen
+to avoid — the scheduler records it so the runner can restart the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.types import MapReduceJobSpec
+from ..errors import PlanError
+from ..market.requests import RequestState
+from ..market.simulator import SpotMarket
+
+__all__ = ["SubJob", "MapReduceScheduler"]
+
+
+@dataclass
+class SubJob:
+    """One slave's share of the job."""
+
+    index: int
+    work: float
+    request_id: Optional[int] = None
+
+    @property
+    def submitted(self) -> bool:
+        return self.request_id is not None
+
+
+@dataclass
+class MapReduceScheduler:
+    """Tracks master and slave requests across one or more master attempts."""
+
+    job: MapReduceJobSpec
+    sub_jobs: List[SubJob] = field(init=False)
+    master_request_id: Optional[int] = None
+    #: Request ids of all master attempts, in order (restarts append).
+    master_attempts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        per_slave = self.job.slaves_spec.per_instance_work
+        if per_slave <= 0:
+            raise PlanError(f"per-slave work must be positive, got {per_slave!r}")
+        self.sub_jobs = [
+            SubJob(index=i, work=per_slave) for i in range(self.job.num_slaves)
+        ]
+
+    # -- wiring ----------------------------------------------------------
+    def attach_master(self, request_id: int) -> None:
+        """Register a (new) master request; restarts call this again."""
+        self.master_request_id = request_id
+        self.master_attempts.append(request_id)
+
+    def attach_slave(self, index: int, request_id: int) -> None:
+        """Register the persistent request serving sub-job ``index``."""
+        if not 0 <= index < len(self.sub_jobs):
+            raise PlanError(f"sub-job index {index} out of range")
+        if self.sub_jobs[index].submitted:
+            raise PlanError(f"sub-job {index} already has a request attached")
+        self.sub_jobs[index].request_id = request_id
+
+    # -- status ------------------------------------------------------------
+    def slave_states(self, market: SpotMarket) -> Dict[int, RequestState]:
+        """Current state of every attached slave request."""
+        return {
+            sj.index: market.request_state(sj.request_id)
+            for sj in self.sub_jobs
+            if sj.submitted
+        }
+
+    def slaves_done(self, market: SpotMarket) -> bool:
+        """True when every sub-job's request has completed."""
+        if not all(sj.submitted for sj in self.sub_jobs):
+            return False
+        return all(
+            market.request_state(sj.request_id) is RequestState.COMPLETED
+            for sj in self.sub_jobs
+        )
+
+    def master_failed(self, master_market: SpotMarket) -> bool:
+        """True when the current master attempt has been out-bid."""
+        if self.master_request_id is None:
+            return False
+        return (
+            master_market.request_state(self.master_request_id)
+            is RequestState.FAILED
+        )
+
+    def master_running_or_pending(self, master_market: SpotMarket) -> bool:
+        """True while the current master attempt is still alive."""
+        if self.master_request_id is None:
+            return False
+        return not master_market.request_state(self.master_request_id).is_terminal
+
+    @property
+    def master_restarts(self) -> int:
+        """Number of times the master had to be resubmitted."""
+        return max(0, len(self.master_attempts) - 1)

@@ -1,0 +1,204 @@
+"""Task-pool scheduling: Hadoop-style work stealing between slaves.
+
+The paper's model (and :mod:`repro.mapreduce.scheduler`) pins one equal
+sub-job to each slave — if a slave is out-bid, its work waits for that
+slave to resume.  Real Hadoop instead splits the map phase into many
+small tasks and reassigns the tasks of a failed worker to live ones, so
+one stalled market need not stall the job.
+
+:class:`TaskPool` implements that: the job is cut into ``num_tasks``
+equal map tasks; each running slave pulls the next unfinished task,
+works on it, and returns it to the pool when interrupted (losing only
+the partially done task, bounded by one task's length, rather than
+requiring a recovery replay).  :func:`run_task_pool_on_trace` drives the
+pool against a single slave market and reports the same metrics as the
+sub-job runner, so the two policies are directly comparable — the
+`scheduling_policy` ablation does exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PlanError
+from ..traces.history import SpotPriceHistory
+
+__all__ = ["TaskPool", "TaskPoolRunResult", "run_task_pool_on_trace"]
+
+
+@dataclass
+class TaskPool:
+    """A pool of equal map tasks with pull-based assignment.
+
+    Parameters
+    ----------
+    total_work:
+        Total map work in instance-hours.
+    num_tasks:
+        How many tasks to cut it into.  More tasks → less work lost per
+        interruption, more scheduling granularity.
+    """
+
+    total_work: float
+    num_tasks: int
+    #: Remaining work per unfinished task (index → hours).
+    _remaining: Dict[int, float] = field(init=False)
+    #: Tasks currently checked out (task → worker id).
+    _checked_out: Dict[int, int] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_work <= 0:
+            raise PlanError(f"total_work must be positive, got {self.total_work!r}")
+        if self.num_tasks < 1:
+            raise PlanError(f"num_tasks must be >= 1, got {self.num_tasks!r}")
+        per_task = self.total_work / self.num_tasks
+        self._remaining = {i: per_task for i in range(self.num_tasks)}
+
+    @property
+    def task_size(self) -> float:
+        return self.total_work / self.num_tasks
+
+    @property
+    def unfinished_tasks(self) -> int:
+        return len(self._remaining)
+
+    @property
+    def done(self) -> bool:
+        return not self._remaining
+
+    def checkout(self, worker: int) -> Optional[int]:
+        """Assign the next available task to ``worker`` (None if empty)."""
+        for task in self._remaining:
+            if task not in self._checked_out:
+                self._checked_out[task] = worker
+                return task
+        return None
+
+    def work_on(self, task: int, hours: float) -> float:
+        """Apply ``hours`` of progress; returns the unused surplus."""
+        if task not in self._remaining:
+            raise PlanError(f"task {task} is not outstanding")
+        left = self._remaining[task]
+        used = min(left, hours)
+        left -= used
+        if left <= 1e-12:
+            del self._remaining[task]
+            self._checked_out.pop(task, None)
+        else:
+            self._remaining[task] = left
+        return hours - used
+
+    def release(self, task: int, *, lose_progress: bool = True) -> None:
+        """Return a checked-out task to the pool (worker interrupted).
+
+        With ``lose_progress`` the task restarts from scratch — the
+        in-memory partial map output dies with the instance.
+        """
+        if task in self._remaining:
+            self._checked_out.pop(task, None)
+            if lose_progress:
+                self._remaining[task] = self.task_size
+
+    def tasks_of(self, worker: int) -> List[int]:
+        return [t for t, w in self._checked_out.items() if w == worker]
+
+
+@dataclass(frozen=True)
+class TaskPoolRunResult:
+    completed: bool
+    completion_time: float
+    cost: float
+    interruptions: int
+    #: Work re-executed because interruptions lost in-flight tasks, hours.
+    lost_work: float
+
+
+def run_task_pool_on_trace(
+    pool: TaskPool,
+    future: SpotPriceHistory,
+    *,
+    num_workers: int,
+    bid: float,
+    start_slot: int = 0,
+) -> TaskPoolRunResult:
+    """Run the pool with ``num_workers`` slaves on one shared market.
+
+    All workers bid the same price on the same instance type, so a slot
+    either runs all of them or none (the paper's setting).  Within a
+    running slot each worker advances its current task, pulling new ones
+    as tasks finish; an out-bid slot returns in-flight tasks to the pool
+    with their progress lost.
+    """
+    if num_workers < 1:
+        raise PlanError(f"num_workers must be >= 1, got {num_workers!r}")
+    if not 0 <= start_slot < future.n_slots:
+        raise PlanError(f"start_slot {start_slot!r} outside the trace")
+    tk = future.slot_length
+    cost = 0.0
+    interruptions = 0
+    lost_work = 0.0
+    was_running = False
+    current: Dict[int, Optional[int]] = {w: None for w in range(num_workers)}
+    completion_time = math.nan
+
+    for slot in range(start_slot, future.n_slots):
+        price = float(future.prices[slot])
+        accepted = bid >= price
+        if not accepted:
+            if was_running:
+                interruptions += 1
+                for worker, task in current.items():
+                    if task is not None:
+                        done_before = pool.task_size - pool._remaining.get(
+                            task, pool.task_size
+                        )
+                        lost_work += done_before
+                        pool.release(task, lose_progress=True)
+                        current[worker] = None
+            was_running = False
+            continue
+        was_running = True
+        slot_done = False
+        for worker in range(num_workers):
+            budget = tk
+            used = 0.0
+            while budget > 1e-12:
+                task = current[worker]
+                if task is None:
+                    task = pool.checkout(worker)
+                    current[worker] = task
+                if task is None:
+                    break  # pool drained for this worker
+                surplus = pool.work_on(task, budget)
+                used += budget - surplus
+                budget = surplus
+                if task not in pool._remaining:
+                    current[worker] = None
+            # Workers hold their instance for the full slot while the
+            # job is unfinished; the final slot is billed pro rata.
+            charged = tk if not pool.done else used
+            if used > 0.0 or not pool.done:
+                cost += price * charged
+            if pool.done and not slot_done:
+                completion_time = (
+                    (slot - start_slot) * tk + used if used > 0 else
+                    (slot - start_slot) * tk
+                )
+                slot_done = True
+        if pool.done:
+            return TaskPoolRunResult(
+                completed=True,
+                completion_time=completion_time,
+                cost=cost,
+                interruptions=interruptions,
+                lost_work=lost_work,
+            )
+    return TaskPoolRunResult(
+        completed=False,
+        completion_time=math.nan,
+        cost=cost,
+        interruptions=interruptions,
+        lost_work=lost_work,
+    )

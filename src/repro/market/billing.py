@@ -1,0 +1,107 @@
+"""Billing policies for spot instances.
+
+The paper's cost model charges each *running* slot at that slot's spot
+price, with idle (out-bid) time free — :class:`PerSlotBilling`.  Real EC2
+in 2014 billed by started instance-hour, waiving the final partial hour
+when *Amazon* interrupted the instance but charging it in full when the
+user terminated; :class:`HourlyBilling` implements that variant for the
+billing ablation.
+
+A policy instance accounts for **one** instance run: the simulator feeds
+it each slot's usage and lifecycle endings, then reads ``total``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = ["BillingPolicy", "PerSlotBilling", "HourlyBilling"]
+
+
+class BillingPolicy(abc.ABC):
+    """Accumulates the dollar cost of one spot-instance run."""
+
+    @abc.abstractmethod
+    def on_usage(self, price: float, hours: float) -> None:
+        """Record ``hours`` of running time charged at ``price`` $/hour.
+
+        Called once per slot in which the instance ran (``hours`` may be a
+        fraction of the slot when the job finishes mid-slot).
+        """
+
+    def on_interrupt(self) -> None:
+        """The provider out-bid and terminated the instance."""
+
+    def on_user_stop(self) -> None:
+        """The job completed (or the user cancelled the request)."""
+
+    @property
+    @abc.abstractmethod
+    def total(self) -> float:
+        """Dollar cost accumulated so far."""
+
+
+class PerSlotBilling(BillingPolicy):
+    """The paper's model: every running hour costs the prevailing spot price."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+
+    def on_usage(self, price: float, hours: float) -> None:
+        if price < 0 or hours < 0:
+            raise ValueError(f"price and hours must be non-negative: {price}, {hours}")
+        self._total += price * hours
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+
+class HourlyBilling(BillingPolicy):
+    """EC2's 2014 rules: bill whole instance-hours at the price in force
+    when each hour starts; the trailing partial hour is free on provider
+    interruption but charged on user termination."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        #: Hours consumed within the currently open billing hour.
+        self._hour_used = 0.0
+        #: Price locked in when the current billing hour opened.
+        self._hour_price = 0.0
+        self._hour_open = False
+
+    def on_usage(self, price: float, hours: float) -> None:
+        if price < 0 or hours < 0:
+            raise ValueError(f"price and hours must be non-negative: {price}, {hours}")
+        remaining = hours
+        while remaining > 0.0:
+            if not self._hour_open:
+                self._hour_open = True
+                self._hour_used = 0.0
+                self._hour_price = price
+            capacity = 1.0 - self._hour_used
+            used = min(remaining, capacity)
+            self._hour_used += used
+            remaining -= used
+            if self._hour_used >= 1.0 - 1e-12:
+                # A completed instance-hour is charged at its opening price.
+                self._total += self._hour_price
+                self._hour_open = False
+
+    def on_interrupt(self) -> None:
+        # Provider interruption: the open partial hour is waived.
+        self._hour_open = False
+        self._hour_used = 0.0
+
+    def on_user_stop(self) -> None:
+        # User-side termination: the open partial hour is charged in full.
+        if self._hour_open and self._hour_used > 0.0:
+            self._total += self._hour_price
+        self._hour_open = False
+        self._hour_used = 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+

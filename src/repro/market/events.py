@@ -1,0 +1,79 @@
+"""Typed event log for the spot-market simulator.
+
+Every state change in the market produces an event, giving tests and
+experiments an audit trail equivalent to the DynamoDB run log the paper's
+AMI wrote (Section 7.1's experiment setup).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+__all__ = ["EventKind", "MarketEvent", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Everything that can happen to a request or the market."""
+
+    PRICE_SET = "price-set"
+    REQUEST_SUBMITTED = "request-submitted"
+    INSTANCE_LAUNCHED = "instance-launched"
+    INSTANCE_OUTBID = "instance-outbid"
+    INSTANCE_RESUMED = "instance-resumed"
+    RECOVERY_STARTED = "recovery-started"
+    JOB_COMPLETED = "job-completed"
+    REQUEST_FAILED = "request-failed"
+    REQUEST_CANCELLED = "request-cancelled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MarketEvent:
+    """One timestamped market event."""
+
+    kind: EventKind
+    slot: int
+    time_hours: float
+    #: Request the event concerns; None for market-wide events (price sets).
+    request_id: Optional[int] = None
+    #: Spot price in force when the event fired.
+    price: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class EventLog:
+    """An append-only list of market events with filtered views."""
+
+    events: List[MarketEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: MarketEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def for_request(self, request_id: int) -> List[MarketEvent]:
+        """All events concerning one request, in order."""
+        return [e for e in self.events if e.request_id == request_id]
+
+    def of_kind(self, kind: EventKind) -> List[MarketEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind, request_id: Optional[int] = None) -> int:
+        """Number of events of ``kind`` (optionally for one request)."""
+        return sum(
+            1
+            for e in self.events
+            if e.kind is kind and (request_id is None or e.request_id == request_id)
+        )
+
+    def __iter__(self) -> Iterator[MarketEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,159 @@
+"""Per-slot instance lifecycle engine.
+
+:func:`advance_request` applies one market slot to one request: launch or
+resume when the bid beats the price, terminate or knock back when it
+does not, consume recovery time after resumes, advance the workload, and
+feed the billing policy.  The semantics follow Sections 3.2 and 5:
+
+* Decisions happen at slot boundaries, when the provider sets the price.
+* A resumed persistent job pays ``t_r`` of *running* time (recovery is
+  charged — it is time on the instance) before useful work continues.
+* Idle (out-bid) time costs nothing.
+* A job finishing mid-slot is charged only for the fraction used.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.types import BidKind
+from ..errors import MarketError
+from .events import EventKind, EventLog, MarketEvent
+from .requests import RequestState, SpotRequest
+
+__all__ = ["advance_request", "cancel_request"]
+
+
+def _record(
+    log: EventLog,
+    kind: EventKind,
+    request: SpotRequest,
+    slot: int,
+    time_hours: float,
+    price: float,
+    detail: str = "",
+) -> None:
+    log.record(
+        MarketEvent(
+            kind=kind,
+            slot=slot,
+            time_hours=time_hours,
+            request_id=request.request_id,
+            price=price,
+            detail=detail,
+        )
+    )
+
+
+def advance_request(
+    request: SpotRequest,
+    price: float,
+    slot: int,
+    slot_length: float,
+    log: EventLog,
+) -> None:
+    """Apply one slot (at ``price``) to ``request``; mutates it in place."""
+    if request.state.is_terminal:
+        return
+    if slot < request.submitted_slot:
+        raise MarketError(
+            f"request {request.request_id} advanced at slot {slot} before its "
+            f"submission slot {request.submitted_slot}"
+        )
+    slot_start = slot * slot_length
+    accepted = request.bid_price >= price
+
+    if request.state is RequestState.RUNNING and not accepted:
+        # Out-bid at the slot boundary: the provider terminates the
+        # instance before this slot runs.
+        request.billing.on_interrupt()
+        if request.kind is BidKind.ONE_TIME:
+            request.state = RequestState.FAILED
+            request.closed_at = slot_start
+            _record(
+                log, EventKind.REQUEST_FAILED, request, slot, slot_start, price,
+                "one-time request out-bid",
+            )
+            return
+        request.state = RequestState.PENDING
+        request.interruptions += 1
+        # The recovery debt is owed at the next resume (data must be
+        # restored from the save volume).
+        request.pending_recovery = request.recovery_time
+        _record(log, EventKind.INSTANCE_OUTBID, request, slot, slot_start, price)
+        # Falls through to the PENDING accounting below.
+
+    if request.state is RequestState.PENDING:
+        if not accepted:
+            request.idle_hours += slot_length
+            return
+        resumed = request.ever_launched
+        request.state = RequestState.RUNNING
+        request.ever_launched = True
+        _record(
+            log,
+            EventKind.INSTANCE_RESUMED if resumed else EventKind.INSTANCE_LAUNCHED,
+            request,
+            slot,
+            slot_start,
+            price,
+        )
+        if resumed and request.pending_recovery > 0.0:
+            _record(
+                log, EventKind.RECOVERY_STARTED, request, slot, slot_start, price,
+                f"recovery={request.pending_recovery:.6g}h",
+            )
+
+    # state is RUNNING and the bid is accepted: consume this slot.
+    budget = slot_length
+    used = 0.0
+
+    if request.pending_recovery > 0.0:
+        recovery_used = min(request.pending_recovery, budget)
+        request.pending_recovery -= recovery_used
+        request.recovery_hours += recovery_used
+        budget -= recovery_used
+        used += recovery_used
+
+    if budget > 0.0 and request.work_remaining > 0.0:
+        work_done = min(request.work_remaining, budget)
+        request.work_remaining -= work_done
+        used += work_done
+        budget -= work_done
+
+    # An instance that still has work (or recovery) occupies the whole
+    # slot; only completion releases it early.
+    finished = request.work_remaining <= 1e-12 and math.isfinite(request.work)
+    if not finished:
+        used = slot_length
+
+    request.running_hours += used
+    request.billing.on_usage(price, used)
+
+    if finished:
+        request.state = RequestState.COMPLETED
+        request.completed_at = slot_start + used
+        request.billing.on_user_stop()
+        _record(
+            log, EventKind.JOB_COMPLETED, request, slot, request.completed_at, price
+        )
+
+
+def cancel_request(
+    request: SpotRequest, slot: int, slot_length: float, log: EventLog
+) -> None:
+    """User-side cancellation (e.g. the MapReduce runner stopping the
+    master once every slave has finished)."""
+    if request.state.is_terminal:
+        return
+    request.billing.on_user_stop()
+    request.state = RequestState.CANCELLED
+    request.closed_at = slot * slot_length
+    _record(
+        log,
+        EventKind.REQUEST_CANCELLED,
+        request,
+        slot,
+        request.closed_at,
+        price=math.nan,
+    )

@@ -1,0 +1,148 @@
+"""Per-slot spot-price sources for the market simulator.
+
+The simulator is agnostic to how prices arise; these sources cover the
+three regimes the repo needs:
+
+* :class:`TracePriceSource` — replay a recorded/generated history (the
+  backtesting mode every Section 7 experiment uses).
+* :class:`IIDPriceSource` — draw each slot's price independently from a
+  :class:`~repro.core.distributions.PriceDistribution` (the Section 5
+  modeling assumption, useful for long-horizon statistics).
+* :class:`ProviderPriceSource` — run the Section 4 closed-loop provider
+  one step per slot, with exogenous arrivals.  The paper assumes a single
+  user's bids do not move the spot price (Section 8), so user bids are
+  *not* fed back into the provider's demand here; the collective-behavior
+  extension relaxes that separately.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.distributions import PriceDistribution
+from ..errors import MarketError
+from ..provider.queue import ProviderSimulation
+from ..traces.history import SpotPriceHistory
+
+__all__ = [
+    "PriceSource",
+    "TracePriceSource",
+    "IIDPriceSource",
+    "ProviderPriceSource",
+    "EndogenousPriceSource",
+]
+
+
+class PriceSource(abc.ABC):
+    """Produces the spot price for each successive slot."""
+
+    @abc.abstractmethod
+    def next_price(self) -> float:
+        """The spot price for the next slot.
+
+        Raises :class:`MarketError` when the source is exhausted.
+        """
+
+    def remaining_slots(self) -> Optional[int]:
+        """Slots left before exhaustion, or ``None`` if unbounded."""
+        return None
+
+
+class TracePriceSource(PriceSource):
+    """Replay a :class:`SpotPriceHistory`, one slot per call."""
+
+    def __init__(self, history: SpotPriceHistory, *, start_slot: int = 0):
+        if not 0 <= start_slot < history.n_slots:
+            raise MarketError(
+                f"start_slot {start_slot} outside the trace's {history.n_slots} slots"
+            )
+        self._history = history
+        self._cursor = start_slot
+
+    def next_price(self) -> float:
+        if self._cursor >= self._history.n_slots:
+            raise MarketError(
+                f"price trace exhausted after {self._history.n_slots} slots"
+            )
+        price = float(self._history.prices[self._cursor])
+        self._cursor += 1
+        return price
+
+    def remaining_slots(self) -> int:
+        return self._history.n_slots - self._cursor
+
+
+class IIDPriceSource(PriceSource):
+    """Draw each slot's price independently from a distribution."""
+
+    def __init__(self, distribution: PriceDistribution, rng: np.random.Generator):
+        self._dist = distribution
+        self._rng = rng
+
+    def next_price(self) -> float:
+        return float(self._dist.sample(1, self._rng)[0])
+
+
+class ProviderPriceSource(PriceSource):
+    """Prices from the closed-loop Section 4 provider simulation."""
+
+    def __init__(self, simulation: ProviderSimulation, rng: np.random.Generator):
+        self._sim = simulation
+        self._rng = rng
+
+    def next_price(self) -> float:
+        arrivals = float(self._sim.arrivals.sample(1, self._rng)[0])
+        price, _accepted, _demand = self._sim.step(arrivals)
+        return price
+
+
+class EndogenousPriceSource(PriceSource):
+    """Provider-driven prices where *our own* requests add to demand.
+
+    The paper assumes "an individual user's bid price will not measurably
+    affect the provider's spot price" (§8) and verifies it on EC2 (§7).
+    This source makes the assumption testable in simulation: the attached
+    market's active request count, scaled by ``demand_weight``, is added
+    to the provider's queue before each slot's price is set.  With a
+    small weight the price trajectory is indistinguishable from the
+    exogenous one; cranking the weight up shows when the assumption
+    breaks.
+    """
+
+    def __init__(
+        self,
+        simulation: ProviderSimulation,
+        rng: np.random.Generator,
+        *,
+        demand_weight: float = 1.0,
+    ):
+        if demand_weight < 0:
+            raise MarketError(
+                f"demand_weight must be non-negative, got {demand_weight!r}"
+            )
+        self._sim = simulation
+        self._rng = rng
+        self._weight = float(demand_weight)
+        #: Set by the market after construction (circular wiring).
+        self.market = None
+
+    def attach(self, market) -> None:
+        """Attach the market whose active requests join the demand."""
+        self.market = market
+
+    def next_price(self) -> float:
+        arrivals = float(self._sim.arrivals.sample(1, self._rng)[0])
+        extra = 0.0
+        if self.market is not None:
+            extra = self._weight * self.market.active_request_count()
+        # Temporarily inject our demand, price the slot, then remove it so
+        # the background queue evolves as if we were marginal.
+        base_state = self._sim.demand
+        self._sim.reset(base_state + extra)
+        price, _accepted, _demand = self._sim.step(arrivals)
+        after = self._sim.demand
+        self._sim.reset(max(0.0, after - extra))
+        return price

@@ -1,0 +1,67 @@
+"""The Section 4 cloud-provider model: pricing, queueing, equilibrium,
+stability, and fitting against observed spot prices."""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    ExponentialArrivals,
+    ParetoArrivals,
+)
+from .equilibrium import (
+    EquilibriumPriceModel,
+    arrivals_from_price,
+    lambda_min_for_floor,
+    pareto_model_for_floor,
+    price_from_arrivals,
+)
+from .fitting import (
+    FitResult,
+    fit_both_families,
+    fit_exponential,
+    fit_pareto,
+    histogram_pdf,
+)
+from .lyapunov import DriftBound, drift_bound, empirical_drift, empirical_drift_vs_queue
+from .pricing import (
+    accepted_bids,
+    optimal_spot_price,
+    optimal_spot_price_numeric,
+    revenue_objective,
+    stationarity_residual,
+)
+from .queue import (
+    ElasticProviderSimulation,
+    ProviderSimulation,
+    ProviderTrace,
+    queue_step,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "ExponentialArrivals",
+    "ParetoArrivals",
+    "EquilibriumPriceModel",
+    "arrivals_from_price",
+    "lambda_min_for_floor",
+    "pareto_model_for_floor",
+    "price_from_arrivals",
+    "FitResult",
+    "fit_both_families",
+    "fit_exponential",
+    "fit_pareto",
+    "histogram_pdf",
+    "DriftBound",
+    "drift_bound",
+    "empirical_drift",
+    "empirical_drift_vs_queue",
+    "accepted_bids",
+    "optimal_spot_price",
+    "optimal_spot_price_numeric",
+    "revenue_objective",
+    "stationarity_residual",
+    "ElasticProviderSimulation",
+    "ProviderSimulation",
+    "ProviderTrace",
+    "queue_step",
+]

@@ -1,0 +1,212 @@
+"""Bid-arrival processes Λ(t) (Section 4.2–4.3).
+
+The provider model assumes i.i.d. per-slot arrivals with finite mean λ and
+variance σ (Prop. 1's hypotheses).  The paper fits two families to the
+observed spot prices through Prop. 3 — Pareto and exponential — and notes
+any other family could be used the same way; the abstract base class here
+is that extension point.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..errors import DistributionError
+
+__all__ = [
+    "ArrivalProcess",
+    "ParetoArrivals",
+    "ExponentialArrivals",
+    "DeterministicArrivals",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """An i.i.d. non-negative arrival distribution ``f_Λ``."""
+
+    #: Inclusive lower edge of the support.
+    lower: float
+
+    @abc.abstractmethod
+    def pdf(self, value: float) -> float:
+        """Density ``f_Λ(value)`` (0 outside the support)."""
+
+    @abc.abstractmethod
+    def cdf(self, value: float) -> float:
+        """Distribution function ``F_Λ(value)``."""
+
+    @abc.abstractmethod
+    def ppf(self, quantile: float) -> float:
+        """Quantile function (inverse CDF)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected arrivals per slot, λ.  May be ``inf``."""
+
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Arrival variance, σ.  May be ``inf``."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` i.i.d. arrival counts."""
+
+    def is_stable(self) -> bool:
+        """Prop. 1 requires finite mean and variance."""
+        return math.isfinite(self.mean()) and math.isfinite(self.variance())
+
+    def pdf_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pdf`; subclasses may override for speed."""
+        return np.asarray([self.pdf(float(v)) for v in np.asarray(values)])
+
+
+class ParetoArrivals(ArrivalProcess):
+    """Pareto arrivals: ``f_Λ(x) = α·x_min^α / x^(α+1)`` for ``x >= x_min``.
+
+    The paper's Figure 3 fits use α between 5 and 9.5; the minimum
+    ``x_min`` is tied to the minimum spot price through
+    ``Λ_min = θ(β/(π̄ − 2π_min) − 1)`` (Section 4.3).
+    """
+
+    def __init__(self, alpha: float, minimum: float):
+        if not alpha > 0:
+            raise DistributionError(f"alpha must be positive, got {alpha!r}")
+        if not minimum > 0:
+            raise DistributionError(f"minimum must be positive, got {minimum!r}")
+        self.alpha = float(alpha)
+        self.minimum = float(minimum)
+        self.lower = self.minimum
+
+    def pdf(self, value: float) -> float:
+        if value < self.minimum:
+            return 0.0
+        return self.alpha * self.minimum**self.alpha / value ** (self.alpha + 1.0)
+
+    def pdf_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        out = np.zeros_like(values)
+        mask = values >= self.minimum
+        out[mask] = (
+            self.alpha * self.minimum**self.alpha / values[mask] ** (self.alpha + 1.0)
+        )
+        return out
+
+    def cdf(self, value: float) -> float:
+        if value <= self.minimum:
+            return 0.0
+        return 1.0 - (self.minimum / value) ** self.alpha
+
+    def ppf(self, quantile: float) -> float:
+        if math.isnan(quantile):
+            raise DistributionError("quantile must not be NaN")
+        if quantile <= 0.0:
+            return self.minimum
+        if quantile >= 1.0:
+            return math.inf
+        return self.minimum * (1.0 - quantile) ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.minimum / (self.alpha - 1.0)
+
+    def variance(self) -> float:
+        if self.alpha <= 2.0:
+            return math.inf
+        a, m = self.alpha, self.minimum
+        return m * m * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, size=size)
+        return self.minimum * (1.0 - u) ** (-1.0 / self.alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoArrivals(alpha={self.alpha:.4g}, minimum={self.minimum:.4g})"
+
+
+class ExponentialArrivals(ArrivalProcess):
+    """Exponential arrivals: ``f_Λ(x) = (1/η)·exp(−x/η)`` for ``x >= 0``."""
+
+    def __init__(self, eta: float):
+        if not eta > 0:
+            raise DistributionError(f"eta must be positive, got {eta!r}")
+        self.eta = float(eta)
+        self.lower = 0.0
+
+    def pdf(self, value: float) -> float:
+        if value < 0.0:
+            return 0.0
+        return math.exp(-value / self.eta) / self.eta
+
+    def pdf_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        out = np.zeros_like(values)
+        mask = values >= 0.0
+        out[mask] = np.exp(-values[mask] / self.eta) / self.eta
+        return out
+
+    def cdf(self, value: float) -> float:
+        if value <= 0.0:
+            return 0.0
+        return 1.0 - math.exp(-value / self.eta)
+
+    def ppf(self, quantile: float) -> float:
+        if math.isnan(quantile):
+            raise DistributionError("quantile must not be NaN")
+        if quantile <= 0.0:
+            return 0.0
+        if quantile >= 1.0:
+            return math.inf
+        return -self.eta * math.log(1.0 - quantile)
+
+    def mean(self) -> float:
+        return self.eta
+
+    def variance(self) -> float:
+        return self.eta * self.eta
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(self.eta, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialArrivals(eta={self.eta:.4g})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Constant arrivals — zero variance; drives the queue to equilibrium.
+
+    Useful for unit tests of Prop. 2 (equilibrium) because the spot price
+    is then the deterministic ``h(Λ)``.
+    """
+
+    def __init__(self, value: float):
+        if not value >= 0:
+            raise DistributionError(f"value must be non-negative, got {value!r}")
+        self.value = float(value)
+        self.lower = self.value
+
+    def pdf(self, value: float) -> float:
+        return math.inf if value == self.value else 0.0
+
+    def cdf(self, value: float) -> float:
+        return 1.0 if value >= self.value else 0.0
+
+    def ppf(self, quantile: float) -> float:
+        if math.isnan(quantile):
+            raise DistributionError("quantile must not be NaN")
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeterministicArrivals(value={self.value:.4g})"

@@ -1,0 +1,103 @@
+"""Lyapunov stability of the bid queue (Section 4.2, Prop. 1).
+
+Prop. 1 bounds the conditional drift of the quadratic Lyapunov function
+``V(L) = L²/2`` when prices follow eq. 3:
+
+    E[Δ(t) | L(t)] <= B − ε·L(t)
+
+with
+
+    B = (π̄ − π_min)·λ² / (2·θ·π_min) + σ/2
+    ε = θ·λ·π̄ / (4·(π̄ − π_min))
+
+(λ, σ: arrival mean and variance).  Negative drift for ``L > B/ε`` keeps
+the time-averaged queue uniformly bounded — the provider is never swamped
+by re-submitted persistent bids.  This module computes the bound and an
+empirical drift estimator used to validate it against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrivals import ArrivalProcess
+from .pricing import validate_price_band
+
+__all__ = ["DriftBound", "drift_bound", "empirical_drift", "empirical_drift_vs_queue"]
+
+
+@dataclass(frozen=True)
+class DriftBound:
+    """The constants of Prop. 1's drift inequality ``E[Δ|L] <= B − ε·L``."""
+
+    constant: float  #: B
+    slope: float  #: ε
+
+    def evaluate(self, demand: float) -> float:
+        """The drift upper bound at queue length ``demand``."""
+        return self.constant - self.slope * demand
+
+    @property
+    def stable_queue_level(self) -> float:
+        """``B/ε`` — above this queue length the expected drift is negative,
+        so the time-averaged queue concentrates below it."""
+        return self.constant / self.slope
+
+
+def drift_bound(
+    arrivals: ArrivalProcess, theta: float, pi_bar: float, pi_min: float
+) -> DriftBound:
+    """Compute Prop. 1's drift-bound constants for an arrival process.
+
+    Requires finite arrival mean and variance and a strictly positive
+    price floor (the bound degrades as ``π_min → 0``).
+    """
+    validate_price_band(pi_bar, pi_min)
+    if pi_min <= 0.0:
+        raise ValueError("Prop. 1's bound requires a strictly positive price floor")
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta!r}")
+    lam = arrivals.mean()
+    sigma = arrivals.variance()
+    if not (math.isfinite(lam) and math.isfinite(sigma)):
+        raise ValueError(
+            "Prop. 1 requires finite arrival mean and variance; "
+            f"got mean={lam!r}, variance={sigma!r}"
+        )
+    constant = (pi_bar - pi_min) * lam * lam / (2.0 * theta * pi_min) + sigma / 2.0
+    slope = theta * lam * pi_bar / (4.0 * (pi_bar - pi_min))
+    return DriftBound(constant=constant, slope=slope)
+
+
+def empirical_drift(demand: np.ndarray) -> np.ndarray:
+    """Per-slot realized drift ``Δ(t) = L(t+1)²/2 − L(t)²/2`` (eq. 5)."""
+    demand = np.asarray(demand, dtype=float)
+    if demand.ndim != 1 or demand.size < 2:
+        raise ValueError("need a 1-D demand series with at least two entries")
+    return 0.5 * (demand[1:] ** 2 - demand[:-1] ** 2)
+
+
+def empirical_drift_vs_queue(
+    demand: np.ndarray, n_bins: int = 20
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Average realized drift conditioned on binned queue length.
+
+    Returns ``(bin_centers, mean_drift)`` with NaN for empty bins — the
+    empirical counterpart of Prop. 1's conditional expectation, used to
+    check that drift turns negative for large queues.
+    """
+    demand = np.asarray(demand, dtype=float)
+    drift = empirical_drift(demand)
+    levels = demand[:-1]
+    edges = np.linspace(levels.min(), levels.max(), n_bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    means = np.full(n_bins, np.nan)
+    idx = np.clip(np.digitize(levels, edges) - 1, 0, n_bins - 1)
+    for b in range(n_bins):
+        mask = idx == b
+        if mask.any():
+            means[b] = drift[mask].mean()
+    return centers, means

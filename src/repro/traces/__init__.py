@@ -1,0 +1,41 @@
+"""Spot-price trace substrate: instance catalog, history container,
+synthetic generators and CSV I/O."""
+
+from .catalog import (
+    CATALOG,
+    FIG3_TYPES,
+    TABLE3_TYPES,
+    InstanceType,
+    MarketModelParams,
+    get_instance_type,
+    list_instance_types,
+)
+from .generator import (
+    generate_correlated_history,
+    generate_equilibrium_history,
+    generate_provider_history,
+    generate_regime_shift_history,
+    generate_renewal_history,
+    market_model_for,
+)
+from .history import SpotPriceHistory
+from .io import read_csv, write_csv
+
+__all__ = [
+    "CATALOG",
+    "FIG3_TYPES",
+    "TABLE3_TYPES",
+    "InstanceType",
+    "MarketModelParams",
+    "get_instance_type",
+    "list_instance_types",
+    "generate_correlated_history",
+    "generate_equilibrium_history",
+    "generate_provider_history",
+    "generate_regime_shift_history",
+    "generate_renewal_history",
+    "market_model_for",
+    "SpotPriceHistory",
+    "read_csv",
+    "write_csv",
+]

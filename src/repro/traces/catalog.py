@@ -1,0 +1,182 @@
+"""EC2 instance catalog (Table 2) and per-type market-model parameters.
+
+On-demand prices are the 2014 us-east-1 Linux rates in force during the
+paper's measurement window (Aug 14 – Oct 13, 2014).  The market-model
+parameters ``(β, θ, α, η)`` for the four Figure 3 panels are the paper's
+fitted values; the remaining types carry interpolated values chosen so
+that the equilibrium price model is generative (``β > π̄ − 2π_min``, see
+DESIGN.md §2) and spot floors sit near the historical ~9% of on-demand.
+
+Only panel (d) of Figure 3 retained its instance label in the extracted
+paper text; panels (a)–(c) are assigned to m3.xlarge, m3.2xlarge and
+r3.xlarge (documented assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import CatalogError
+
+__all__ = [
+    "MarketModelParams",
+    "InstanceType",
+    "CATALOG",
+    "get_instance_type",
+    "list_instance_types",
+    "FIG3_TYPES",
+    "TABLE3_TYPES",
+]
+
+
+@dataclass(frozen=True)
+class MarketModelParams:
+    """Equilibrium-model parameters for one instance type's spot market.
+
+    ``beta`` is rescaled relative to the paper's raw fitted values so that
+    the model is *generative* (prices actually sampled from it span the
+    band the paper observed); the paper's β only reproduce the PDF shape
+    through eq. 7's non-normalized convention.  ``floor_mass`` captures
+    the empirically dominant feature of 2014 spot prices — the price
+    parking at the floor for a large fraction of slots.
+    """
+
+    beta: float  #: provider utilization weight (eq. 1)
+    theta: float  #: per-slot job-completion fraction (eq. 4)
+    alpha: float  #: Pareto arrival tail index (Fig. 3)
+    eta: float  #: exponential arrival scale (Fig. 3)
+    pi_min: float  #: minimum spot price, $/hour
+    floor_mass: float  #: probability a slot's price sits at the floor
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0 or self.theta <= 0 or self.alpha <= 1 or self.eta <= 0:
+            raise CatalogError(
+                f"invalid market parameters: beta={self.beta}, theta={self.theta}, "
+                f"alpha={self.alpha}, eta={self.eta}"
+            )
+        if self.pi_min <= 0:
+            raise CatalogError(f"pi_min must be positive, got {self.pi_min}")
+        if not 0.0 <= self.floor_mass < 1.0:
+            raise CatalogError(
+                f"floor_mass must be in [0, 1), got {self.floor_mass}"
+            )
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type (a row of Table 2)."""
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    storage: str  #: SSD layout, e.g. "2x40"
+    on_demand_price: float  #: π̄, $/hour (2014 us-east-1 Linux)
+    market: MarketModelParams
+
+    @property
+    def family(self) -> str:
+        """Instance family prefix, e.g. ``"r3"``."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def size(self) -> str:
+        """Instance size suffix, e.g. ``"xlarge"``."""
+        return self.name.split(".", 1)[1]
+
+    def __post_init__(self) -> None:
+        if "." not in self.name:
+            raise CatalogError(f"instance name must look like 'fam.size': {self.name!r}")
+        if self.on_demand_price <= 0:
+            raise CatalogError(
+                f"on_demand_price must be positive, got {self.on_demand_price!r}"
+            )
+        if self.market.pi_min >= self.on_demand_price / 2.0:
+            raise CatalogError(
+                f"{self.name}: spot floor {self.market.pi_min} must lie below "
+                f"half the on-demand price {self.on_demand_price}"
+            )
+
+
+def _itype(
+    name: str,
+    vcpus: int,
+    memory_gib: float,
+    storage: str,
+    on_demand: float,
+    beta_ratio: float,
+    alpha: float,
+    eta: float,
+    floor_mass: float,
+    *,
+    theta: float = 0.02,
+    floor_fraction: float = 0.09,
+) -> InstanceType:
+    pi_min = round(floor_fraction * on_demand, 4)
+    return InstanceType(
+        name=name,
+        vcpus=vcpus,
+        memory_gib=memory_gib,
+        storage=storage,
+        on_demand_price=on_demand,
+        market=MarketModelParams(
+            beta=round(beta_ratio * on_demand, 4),
+            theta=theta,
+            alpha=alpha,
+            eta=eta,
+            pi_min=pi_min,
+            floor_mass=floor_mass,
+        ),
+    )
+
+
+#: Every instance type used in the paper's experiments (Tables 2–4, Fig. 3).
+#: α values for the four Figure 3 panels are the paper's fitted tail
+#: indices; β is parameterized as a ratio of the on-demand price (see
+#: MarketModelParams docstring) and floor masses reflect 2014 traces.
+CATALOG: Dict[str, InstanceType] = {
+    it.name: it
+    for it in (
+        # Figure 3 panels (a)–(d).  α is clamped into the generative
+        # sweet spot [2.5, 4.5] (the paper's raw tail indices compress the
+        # tail too much under the exact push-forward; see DESIGN.md §2),
+        # ordered to preserve the paper's relative tail weights.
+        _itype("m3.xlarge", 4, 15.0, "2x40", 0.280, 1.0, 3.0, 0.00013, 0.78),
+        _itype("m3.2xlarge", 8, 30.0, "2x80", 0.560, 0.95, 4.5, 7.1e-5, 0.72),
+        _itype("r3.xlarge", 4, 30.5, "1x80", 0.350, 1.0, 4.0, 0.000108, 0.75),
+        _itype("m1.xlarge", 4, 15.0, "4x420", 0.350, 1.0, 3.2, 0.000204, 0.75),
+        # Remaining Table 2/3 types: interpolated market parameters.
+        _itype("r3.2xlarge", 8, 61.0, "1x160", 0.700, 0.9, 3.5, 1.5e-4, 0.72),
+        _itype("r3.4xlarge", 16, 122.0, "1x320", 1.400, 1.0, 3.0, 2.0e-4, 0.76),
+        _itype("c3.xlarge", 4, 7.5, "2x40", 0.210, 1.0, 4.0, 1.2e-4, 0.75),
+        _itype("c3.2xlarge", 8, 15.0, "2x80", 0.420, 1.1, 3.8, 1.4e-4, 0.76),
+        _itype("c3.4xlarge", 16, 30.0, "2x160", 0.840, 1.1, 2.5, 1.8e-4, 0.80),
+        _itype("c3.8xlarge", 32, 60.0, "2x320", 1.680, 0.95, 3.5, 2.5e-4, 0.74),
+    )
+}
+
+#: The four Figure 3 panels, in panel order (a)–(d).
+FIG3_TYPES: Tuple[str, ...] = ("m3.xlarge", "m3.2xlarge", "r3.xlarge", "m1.xlarge")
+
+#: The five Table 3 / Figures 5–6 instance types, in table order.
+TABLE3_TYPES: Tuple[str, ...] = (
+    "r3.xlarge",
+    "r3.2xlarge",
+    "r3.4xlarge",
+    "c3.4xlarge",
+    "c3.8xlarge",
+)
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name, e.g. ``"r3.xlarge"``."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise CatalogError(f"unknown instance type {name!r}; known types: {known}")
+
+
+def list_instance_types() -> Tuple[str, ...]:
+    """All catalog instance-type names, sorted."""
+    return tuple(sorted(CATALOG))

@@ -1,0 +1,103 @@
+"""CSV round-trip for spot-price traces.
+
+The file layout mirrors what tooling around Amazon's
+``describe-spot-price-history`` API produced: one row per slot with the
+slot index, the absolute timestamp in hours, and the price.  Metadata
+(slot length, instance type) travels in ``#``-prefixed header comments so
+a trace file is self-describing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Union
+
+from ..constants import DEFAULT_SLOT_HOURS
+from ..errors import TraceError
+from .history import SpotPriceHistory
+
+__all__ = ["write_csv", "read_csv", "dumps_csv", "loads_csv"]
+
+_HEADER = ("slot", "time_hours", "price")
+
+
+def dumps_csv(history: SpotPriceHistory) -> str:
+    """Serialize a trace to CSV text."""
+    buf = io.StringIO()
+    buf.write(f"# instance_type={history.instance_type or ''}\n")
+    buf.write(f"# slot_length_hours={history.slot_length!r}\n")
+    buf.write(f"# start_hour={history.start_hour!r}\n")
+    writer = csv.writer(buf)
+    writer.writerow(_HEADER)
+    times = history.timestamps()
+    for i, (t, p) in enumerate(zip(times, history.prices)):
+        writer.writerow((i, f"{t:.6f}", f"{p:.10g}"))
+    return buf.getvalue()
+
+
+def write_csv(history: SpotPriceHistory, path: Union[str, os.PathLike]) -> None:
+    """Write a trace to ``path`` as CSV."""
+    with open(path, "w", newline="") as fh:
+        fh.write(dumps_csv(history))
+
+
+def loads_csv(text: str) -> SpotPriceHistory:
+    """Parse CSV text produced by :func:`dumps_csv`."""
+    instance_type = None
+    slot_length = DEFAULT_SLOT_HOURS
+    start_hour = 0.0
+    data_lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            body = stripped.lstrip("#").strip()
+            if "=" not in body:
+                continue
+            key, _, value = body.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "instance_type":
+                instance_type = value or None
+            elif key == "slot_length_hours":
+                slot_length = float(value)
+            elif key == "start_hour":
+                start_hour = float(value)
+            continue
+        data_lines.append(stripped)
+    if not data_lines:
+        raise TraceError("trace file contains no data rows")
+
+    reader = csv.reader(io.StringIO("\n".join(data_lines)))
+    header = next(reader)
+    if tuple(h.strip() for h in header) != _HEADER:
+        raise TraceError(
+            f"unexpected CSV header {header!r}; expected {list(_HEADER)!r}"
+        )
+    prices = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != 3:
+            raise TraceError(f"malformed row {row!r}: expected 3 columns")
+        try:
+            prices.append(float(row[2]))
+        except ValueError as exc:
+            raise TraceError(f"non-numeric price in row {row!r}") from exc
+    if not prices:
+        raise TraceError("trace file contains a header but no prices")
+    return SpotPriceHistory(
+        prices=prices,
+        slot_length=slot_length,
+        start_hour=start_hour,
+        instance_type=instance_type,
+    )
+
+
+def read_csv(path: Union[str, os.PathLike]) -> SpotPriceHistory:
+    """Read a trace previously written by :func:`write_csv`."""
+    with open(path, "r") as fh:
+        return loads_csv(fh.read())

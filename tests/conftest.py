@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.constants import seconds
+from repro.core.distributions import (
+    EmpiricalPriceDistribution,
+    TruncatedExponentialPriceDistribution,
+    UniformPriceDistribution,
+)
+from repro.core.types import JobSpec
+from repro.traces.generator import (
+    generate_equilibrium_history,
+    generate_renewal_history,
+    market_model_for,
+)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def uniform_dist():
+    """Uniform prices on [0.02, 0.10] — closed forms for everything."""
+    return UniformPriceDistribution(0.02, 0.10)
+
+
+@pytest.fixture
+def texp_dist():
+    """Truncated exponential — a strictly decreasing PDF (Prop. 5's case)."""
+    return TruncatedExponentialPriceDistribution(0.03, 0.20, 0.02)
+
+
+@pytest.fixture
+def empirical_dist(rng):
+    """An ECDF over ~2000 draws of a floor-plus-tail price process."""
+    floor = np.full(1200, 0.0315)
+    tail = 0.0315 + rng.exponential(0.01, size=800)
+    return EmpiricalPriceDistribution(np.concatenate([floor, tail]))
+
+
+@pytest.fixture
+def r3_model():
+    """The catalog equilibrium model for r3.xlarge (with floor atom)."""
+    return market_model_for("r3.xlarge")
+
+
+@pytest.fixture
+def r3_history(rng):
+    """A 30-day i.i.d. r3.xlarge history."""
+    return generate_equilibrium_history("r3.xlarge", days=30, rng=rng)
+
+
+@pytest.fixture
+def r3_future(rng):
+    """A 6-day sticky r3.xlarge future trace."""
+    return generate_renewal_history("r3.xlarge", days=6, rng=rng)
+
+
+@pytest.fixture
+def hour_job():
+    """The paper's canonical job: one hour, 30 s recovery."""
+    return JobSpec(execution_time=1.0, recovery_time=seconds(30))

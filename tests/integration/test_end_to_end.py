@@ -1,0 +1,123 @@
+"""End-to-end integration: the full user journey through the library."""
+
+import math
+
+import numpy as np
+from repro import (
+    BiddingClient,
+    JobSpec,
+    MapReduceJobSpec,
+    generate_equilibrium_history,
+    generate_renewal_history,
+    get_instance_type,
+    plan_master_slave,
+    seconds,
+)
+from repro.cli import main
+from repro.mapreduce.runner import ondemand_baseline, run_plan_on_traces
+from repro.provider.fitting import fit_both_families
+from repro.traces.io import read_csv, write_csv
+
+
+class TestSingleInstanceJourney:
+    """Generate → fit → bid → simulate → verify the headline claim."""
+
+    def test_ninety_percent_savings_pipeline(self, rng):
+        itype = get_instance_type("c3.4xlarge")
+        history = generate_equilibrium_history(itype, days=60, rng=rng)
+
+        # 1. The provider model fits the history (Section 4.3).
+        pareto, _expo = fit_both_families(history.prices, itype.on_demand_price)
+        assert pareto.mse_mass < 1e-4
+
+        # 2. The client computes bids from the same history (Section 5).
+        client = BiddingClient(history, ondemand_price=itype.on_demand_price)
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        decision = client.decide(job, strategy="persistent")
+        assert decision.price < itype.on_demand_price / 2
+
+        # 3. Execution on unseen sticky futures saves ~90% (Section 7.1).
+        costs, completions = [], 0
+        for _ in range(10):
+            future = generate_renewal_history(itype, days=6, rng=rng)
+            outcome = client.execute(
+                decision, job, future, start_slot=int(rng.integers(0, 288))
+            )
+            if outcome.completed:
+                completions += 1
+                costs.append(outcome.cost)
+        assert completions >= 9
+        savings = 1.0 - float(np.mean(costs)) / client.ondemand_cost(job)
+        assert savings > 0.85
+
+    def test_fitted_model_bids_match_ecdf_bids(self, rng):
+        # Bidding off the fitted parametric model should land near the
+        # bid computed from the raw ECDF — the model is a faithful
+        # compression of the history.
+        from repro.core.persistent import optimal_persistent_bid
+
+        itype = get_instance_type("r3.xlarge")
+        history = generate_equilibrium_history(itype, days=60, rng=rng)
+        pareto, _ = fit_both_families(history.prices, itype.on_demand_price)
+        job = JobSpec(1.0, seconds(30))
+        from_model = optimal_persistent_bid(pareto.model(), job)
+        from_ecdf = optimal_persistent_bid(history.to_distribution(), job)
+        assert abs(from_model.price - from_ecdf.price) / from_ecdf.price < 0.1
+
+
+class TestMapReduceJourney:
+    def test_cluster_pipeline(self, rng):
+        master_t = get_instance_type("m3.xlarge")
+        slave_t = get_instance_type("c3.4xlarge")
+        mh = generate_equilibrium_history(master_t, days=45, rng=rng)
+        sh = generate_equilibrium_history(slave_t, days=45, rng=rng)
+        job = MapReduceJobSpec(
+            execution_time=12.0, num_slaves=6,
+            overhead_time=seconds(60), recovery_time=seconds(30),
+        )
+        plan = plan_master_slave(
+            mh.to_distribution(), sh.to_distribution(), job,
+            master_ondemand=master_t.on_demand_price,
+            slave_ondemand=slave_t.on_demand_price,
+        )
+        baseline = ondemand_baseline(
+            job, master_t.on_demand_price, slave_t.on_demand_price
+        )
+        results = []
+        for _ in range(4):
+            mf = generate_renewal_history(master_t, days=8, rng=rng)
+            sf = generate_renewal_history(slave_t, days=8, rng=rng)
+            results.append(run_plan_on_traces(plan, mf, sf))
+        completed = [r for r in results if r.completed]
+        assert len(completed) >= 3
+        mean_cost = float(np.mean([r.total_cost for r in completed]))
+        assert mean_cost < 0.3 * baseline.total_cost  # >70% cheaper
+
+
+class TestCliJourney:
+    def test_trace_fit_bid_backtest(self, tmp_path, capsys):
+        hist = tmp_path / "h.csv"
+        fut = tmp_path / "f.csv"
+        assert main(["trace", "c3.4xlarge", "--days", "20", "--seed", "1",
+                     "--out", str(hist)]) == 0
+        assert main(["trace", "c3.4xlarge", "--days", "4", "--model",
+                     "renewal", "--seed", "2", "--out", str(fut)]) == 0
+        assert main(["fit", str(hist)]) == 0
+        assert main(["backtest", str(hist), str(fut)]) == 0
+        out = capsys.readouterr().out
+        assert "savings" in out
+
+    def test_csv_roundtrip_preserves_bids(self, tmp_path, rng):
+        itype = get_instance_type("r3.xlarge")
+        history = generate_equilibrium_history(itype, days=20, rng=rng)
+        path = tmp_path / "t.csv"
+        write_csv(history, path)
+        again = read_csv(path)
+        a = BiddingClient(history, ondemand_price=itype.on_demand_price)
+        b = BiddingClient(again, ondemand_price=itype.on_demand_price)
+        job = JobSpec(1.0, seconds(30))
+        assert math.isclose(
+            a.decide(job, strategy="persistent").price,
+            b.decide(job, strategy="persistent").price,
+            rel_tol=1e-9,
+        )

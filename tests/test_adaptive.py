@@ -1,0 +1,125 @@
+"""Adaptive re-bidding under non-stationary prices."""
+
+import numpy as np
+import pytest
+
+from repro.constants import seconds
+from repro.core.adaptive import AdaptiveBiddingClient
+from repro.core.types import JobSpec
+from repro.errors import MarketError, TraceError
+from repro.traces.generator import (
+    generate_equilibrium_history,
+    generate_regime_shift_history,
+    generate_renewal_history,
+)
+from repro.traces.history import SpotPriceHistory
+
+
+@pytest.fixture
+def client():
+    return AdaptiveBiddingClient(
+        window_hours=24.0, rebid_interval_slots=12, rebid_threshold=0.02
+    )
+
+
+@pytest.fixture
+def job():
+    return JobSpec(execution_time=4.0, recovery_time=seconds(30))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(window_hours=0.0), dict(rebid_interval_slots=0),
+         dict(rebid_threshold=-0.1)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBiddingClient(**kwargs)
+
+
+class TestStationaryMarket:
+    def test_no_rebid_needed_when_prices_stationary(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=20, rng=rng)
+        future = generate_renewal_history("r3.xlarge", days=8, rng=rng)
+        result = client.run(job, history, future)
+        assert result.completed
+        # Rolling re-estimates stay within the threshold: few/no rebids.
+        assert result.rebids <= 3
+
+    def test_static_flag_disables_rebidding(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=20, rng=rng)
+        future = generate_renewal_history("r3.xlarge", days=8, rng=rng)
+        result = client.run(job, history, future, adaptive=False)
+        assert result.rebids == 0
+        assert len(result.bids) == 1
+
+
+class TestRegimeShift:
+    def test_static_bid_stalls_after_shift(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=20, rng=rng)
+        future = generate_regime_shift_history(
+            "r3.xlarge", days=10, rng=rng,
+            shift_hour=1.0, floor_multiplier=2.5,
+        )
+        static = client.run(job, history, future, adaptive=False)
+        assert not static.completed
+
+    def test_adaptive_recovers_after_shift(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=20, rng=rng)
+        future = generate_regime_shift_history(
+            "r3.xlarge", days=10, rng=rng,
+            shift_hour=1.0, floor_multiplier=2.5,
+        )
+        adaptive = client.run(job, history, future, adaptive=True)
+        assert adaptive.completed
+        assert adaptive.rebids >= 1
+        # The final bid clears the new regime's floor.
+        assert adaptive.bids[-1] > adaptive.bids[0]
+
+    def test_work_is_conserved_across_rebids(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=20, rng=rng)
+        future = generate_regime_shift_history(
+            "r3.xlarge", days=10, rng=rng,
+            shift_hour=1.0, floor_multiplier=2.5,
+        )
+        result = client.run(job, history, future, adaptive=True)
+        assert result.completed
+        # Completion time at least covers the work (progress carried
+        # across cancel-and-resubmit, never restarted from zero).
+        assert result.completion_time >= job.execution_time - 1e-9
+
+
+class TestGuards:
+    def test_slot_length_mismatch(self, client, job, rng):
+        history = generate_equilibrium_history("r3.xlarge", days=5, rng=rng)
+        future = SpotPriceHistory(prices=np.full(100, 0.03), slot_length=0.25)
+        with pytest.raises(MarketError):
+            client.run(job, history, future)
+
+
+class TestRegimeShiftGenerator:
+    def test_floor_scales_after_shift(self, rng):
+        future = generate_regime_shift_history(
+            "r3.xlarge", days=4, rng=rng, shift_hour=48.0, floor_multiplier=2.0,
+        )
+        half = future.n_slots // 2
+        assert future.prices[:half].min() == pytest.approx(0.0315)
+        assert future.prices[half:].min() == pytest.approx(0.063)
+
+    def test_prices_capped_at_ondemand(self, rng):
+        future = generate_regime_shift_history(
+            "r3.xlarge", days=4, rng=rng, shift_hour=1.0, floor_multiplier=50.0,
+        )
+        assert future.prices.max() <= 0.35 + 1e-12
+
+    def test_validation(self, rng):
+        with pytest.raises(TraceError):
+            generate_regime_shift_history(
+                "r3.xlarge", days=2, rng=rng, shift_hour=0.0
+            )
+        with pytest.raises(TraceError):
+            generate_regime_shift_history(
+                "r3.xlarge", days=2, rng=rng, shift_hour=1.0,
+                floor_multiplier=0.0,
+            )

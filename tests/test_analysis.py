@@ -1,0 +1,128 @@
+"""Shared statistics utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import ecdf, ks_two_sample, mean_squared_error
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    percent_difference,
+    savings_fraction,
+    summarize,
+)
+
+
+class TestEcdf:
+    def test_sorted_with_uniform_steps(self):
+        values, probs = ecdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestMSE:
+    def test_value(self):
+        assert math.isclose(mean_squared_error([1.0, 2.0], [1.0, 4.0]), 2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+
+class TestKS:
+    def test_same_distribution_not_rejected(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        result = ks_two_sample(a, b)
+        assert result.similar(threshold=0.01)
+
+    def test_different_distributions_rejected(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(loc=1.0, size=2000)
+        result = ks_two_sample(a, b)
+        assert not result.similar(threshold=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+
+class TestStats:
+    def test_percent_difference(self):
+        assert math.isclose(percent_difference(1.1, 1.0), 10.0)
+        assert math.isclose(percent_difference(0.9, 1.0), -10.0)
+        with pytest.raises(ValueError):
+            percent_difference(1.0, 0.0)
+
+    def test_savings_fraction(self):
+        assert math.isclose(savings_fraction(0.1, 1.0), 0.9)
+        with pytest.raises(ValueError):
+            savings_fraction(0.1, 0.0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.n == 3
+        assert math.isclose(s.std, 1.0)
+
+    def test_summarize_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bootstrap_ci_brackets_mean(self, rng):
+        values = rng.normal(loc=10.0, scale=1.0, size=500)
+        lo, hi = bootstrap_mean_ci(values, rng=rng)
+        assert lo < values.mean() < hi
+        assert hi - lo < 1.0
+
+    def test_bootstrap_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([], rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], rng=rng, confidence=1.5)
+
+
+class TestTraceStats:
+    def test_episode_lengths(self):
+        from repro.analysis.trace_stats import episode_lengths
+
+        mask = np.asarray([1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert episode_lengths(mask) == [2, 1, 3]
+        assert episode_lengths(np.zeros(5, dtype=bool)) == []
+        assert episode_lengths(np.ones(4, dtype=bool)) == [4]
+
+    def test_describe_history(self):
+        from repro.analysis.trace_stats import describe_history
+        from repro.traces.history import SpotPriceHistory
+
+        prices = np.asarray([0.03] * 9 + [0.05] * 3)
+        history = SpotPriceHistory(prices=prices)
+        summary = describe_history(history)
+        assert summary.floor_price == 0.03
+        assert summary.max_price == 0.05
+        assert math.isclose(summary.floor_occupancy, 0.75)
+        assert math.isclose(summary.mean_floor_episode_hours, 9 / 12)
+        assert math.isclose(summary.mean_excursion_hours, 3 / 12)
+        assert math.isclose(summary.change_rate, 1 / 11)
+        assert "floor occupancy" in summary.render()
+
+    def test_describe_matches_generator_parameters(self, rng):
+        from repro.analysis.trace_stats import describe_history
+        from repro.traces.generator import generate_renewal_history
+        from repro.traces.catalog import get_instance_type
+
+        history = generate_renewal_history("r3.xlarge", days=40, rng=rng)
+        summary = describe_history(history)
+        expected = get_instance_type("r3.xlarge").market.floor_mass
+        assert abs(summary.floor_occupancy - expected) < 0.1

@@ -1,0 +1,105 @@
+"""Arrival processes Λ(t): Pareto, exponential, deterministic."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.errors import DistributionError
+from repro.provider.arrivals import (
+    DeterministicArrivals,
+    ExponentialArrivals,
+    ParetoArrivals,
+)
+
+
+class TestPareto:
+    @pytest.fixture
+    def pareto(self):
+        return ParetoArrivals(alpha=3.0, minimum=0.5)
+
+    def test_pdf_integrates_to_one(self, pareto):
+        total, _ = integrate.quad(pareto.pdf, pareto.minimum, np.inf)
+        assert math.isclose(total, 1.0, rel_tol=1e-8)
+
+    def test_cdf_ppf_roundtrip(self, pareto):
+        for q in (0.05, 0.5, 0.95):
+            assert math.isclose(pareto.cdf(pareto.ppf(q)), q, rel_tol=1e-12)
+
+    def test_mean_variance_closed_forms(self, pareto):
+        assert math.isclose(pareto.mean(), 3.0 * 0.5 / 2.0)
+        a, m = 3.0, 0.5
+        assert math.isclose(pareto.variance(), m * m * a / ((a - 1) ** 2 * (a - 2)))
+
+    def test_heavy_tail_moments_diverge(self):
+        assert math.isinf(ParetoArrivals(alpha=0.9, minimum=1.0).mean())
+        assert math.isinf(ParetoArrivals(alpha=1.5, minimum=1.0).variance())
+        assert not ParetoArrivals(alpha=1.5, minimum=1.0).is_stable()
+        assert ParetoArrivals(alpha=2.5, minimum=1.0).is_stable()
+
+    def test_sample_mean_converges(self, pareto, rng):
+        draws = pareto.sample(50000, rng)
+        assert draws.min() >= pareto.minimum
+        assert abs(draws.mean() - pareto.mean()) < 0.02
+
+    def test_pdf_array_matches_scalar(self, pareto):
+        grid = np.linspace(0.0, 5.0, 40)
+        np.testing.assert_allclose(
+            pareto.pdf_array(grid), [pareto.pdf(float(x)) for x in grid]
+        )
+
+    def test_ppf_extremes(self, pareto):
+        assert pareto.ppf(0.0) == pareto.minimum
+        assert math.isinf(pareto.ppf(1.0))
+
+    @pytest.mark.parametrize("alpha,minimum", [(0.0, 1.0), (2.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_params(self, alpha, minimum):
+        with pytest.raises(DistributionError):
+            ParetoArrivals(alpha=alpha, minimum=minimum)
+
+
+class TestExponential:
+    @pytest.fixture
+    def expo(self):
+        return ExponentialArrivals(eta=0.02)
+
+    def test_pdf_integrates_to_one(self, expo):
+        total, _ = integrate.quad(expo.pdf, 0.0, np.inf)
+        assert math.isclose(total, 1.0, rel_tol=1e-8)
+
+    def test_moments(self, expo):
+        assert math.isclose(expo.mean(), 0.02)
+        assert math.isclose(expo.variance(), 0.0004)
+        assert expo.is_stable()
+
+    def test_cdf_ppf_roundtrip(self, expo):
+        for q in (0.1, 0.63, 0.99):
+            assert math.isclose(expo.cdf(expo.ppf(q)), q, rel_tol=1e-12)
+
+    def test_sample_mean(self, expo, rng):
+        draws = expo.sample(50000, rng)
+        assert abs(draws.mean() - 0.02) < 0.001
+
+    def test_invalid_eta(self):
+        with pytest.raises(DistributionError):
+            ExponentialArrivals(eta=0.0)
+
+
+class TestDeterministic:
+    def test_degenerate_distribution(self):
+        det = DeterministicArrivals(0.7)
+        assert det.cdf(0.69) == 0.0
+        assert det.cdf(0.7) == 1.0
+        assert det.ppf(0.3) == 0.7
+        assert det.mean() == 0.7
+        assert det.variance() == 0.0
+        assert det.is_stable()
+
+    def test_sample_is_constant(self, rng):
+        det = DeterministicArrivals(0.7)
+        assert np.all(det.sample(10, rng) == 0.7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            DeterministicArrivals(-0.1)

@@ -1,0 +1,101 @@
+"""Billing policies: the paper's per-slot model and EC2's hourly rules."""
+
+import math
+
+import pytest
+
+from repro.market.billing import HourlyBilling, PerSlotBilling
+
+
+class TestPerSlot:
+    def test_accumulates_price_times_hours(self):
+        billing = PerSlotBilling()
+        billing.on_usage(0.06, 1.0 / 12.0)
+        billing.on_usage(0.03, 1.0 / 12.0)
+        assert math.isclose(billing.total, (0.06 + 0.03) / 12.0)
+
+    def test_interrupt_and_stop_are_noops(self):
+        billing = PerSlotBilling()
+        billing.on_usage(0.06, 0.5)
+        billing.on_interrupt()
+        billing.on_user_stop()
+        assert math.isclose(billing.total, 0.03)
+
+    def test_rejects_negative(self):
+        billing = PerSlotBilling()
+        with pytest.raises(ValueError):
+            billing.on_usage(-0.01, 1.0)
+        with pytest.raises(ValueError):
+            billing.on_usage(0.01, -1.0)
+
+
+class TestHourly:
+    def test_full_hour_charged_at_opening_price(self):
+        billing = HourlyBilling()
+        # Price rises mid-hour; the hour is billed at its opening price.
+        for _ in range(6):
+            billing.on_usage(0.03, 1.0 / 12.0)
+        for _ in range(6):
+            billing.on_usage(0.09, 1.0 / 12.0)
+        assert math.isclose(billing.total, 0.03)
+
+    def test_partial_hour_free_on_provider_interrupt(self):
+        billing = HourlyBilling()
+        for _ in range(6):  # half an hour
+            billing.on_usage(0.03, 1.0 / 12.0)
+        billing.on_interrupt()
+        assert billing.total == 0.0
+
+    def test_partial_hour_charged_on_user_stop(self):
+        billing = HourlyBilling()
+        for _ in range(6):
+            billing.on_usage(0.03, 1.0 / 12.0)
+        billing.on_user_stop()
+        assert math.isclose(billing.total, 0.03)
+
+    def test_multiple_hours(self):
+        billing = HourlyBilling()
+        for _ in range(30):  # 2.5 hours at a constant price
+            billing.on_usage(0.04, 1.0 / 12.0)
+        billing.on_user_stop()
+        # Two full hours plus a charged partial = 3 instance-hours.
+        assert math.isclose(billing.total, 3 * 0.04)
+
+    def test_interrupt_resets_hour_boundary(self):
+        billing = HourlyBilling()
+        for _ in range(6):
+            billing.on_usage(0.05, 1.0 / 12.0)
+        billing.on_interrupt()  # waived
+        for _ in range(12):
+            billing.on_usage(0.02, 1.0 / 12.0)  # a fresh full hour
+        assert math.isclose(billing.total, 0.02)
+
+    def test_usage_longer_than_one_hour_in_one_call(self):
+        billing = HourlyBilling()
+        billing.on_usage(0.06, 2.5)
+        billing.on_user_stop()
+        assert math.isclose(billing.total, 3 * 0.06)
+
+    def test_hourly_can_undercut_per_slot_when_prices_rise(self):
+        # The whole hour is billed at its *opening* price, so a mid-hour
+        # price rise makes the hourly bill cheaper than per-slot — a real
+        # quirk of the 2014 rules, asserted here so it stays documented.
+        hourly = HourlyBilling()
+        perslot = PerSlotBilling()
+        usage = [(0.03, 0.5), (0.30, 0.5)]
+        for price, hours in usage:
+            hourly.on_usage(price, hours)
+            perslot.on_usage(price, hours)
+        hourly.on_user_stop()
+        assert math.isclose(hourly.total, 0.03)  # one hour at the opening price
+        assert hourly.total < perslot.total
+
+    def test_hourly_never_cheaper_at_constant_price(self):
+        hourly = HourlyBilling()
+        perslot = PerSlotBilling()
+        for _ in range(17):
+            hourly.on_usage(0.04, 1.0 / 12.0)
+            perslot.on_usage(0.04, 1.0 / 12.0)
+        hourly.on_user_stop()
+        assert hourly.total >= perslot.total - 1e-12
+        assert math.isclose(hourly.total, 2 * 0.04)  # ceil(17/12) hours

@@ -1,0 +1,106 @@
+"""The instance catalog (Table 2 + market-model parameters)."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.traces.catalog import (
+    CATALOG,
+    FIG3_TYPES,
+    TABLE3_TYPES,
+    InstanceType,
+    MarketModelParams,
+    get_instance_type,
+    list_instance_types,
+)
+
+
+class TestCatalogContents:
+    def test_figure3_panels_present_in_order(self):
+        assert FIG3_TYPES == ("m3.xlarge", "m3.2xlarge", "r3.xlarge", "m1.xlarge")
+        assert all(name in CATALOG for name in FIG3_TYPES)
+
+    def test_table3_types_present(self):
+        assert TABLE3_TYPES == (
+            "r3.xlarge", "r3.2xlarge", "r3.4xlarge", "c3.4xlarge", "c3.8xlarge",
+        )
+        assert all(name in CATALOG for name in TABLE3_TYPES)
+
+    def test_2014_ondemand_prices(self):
+        # The us-east-1 Linux rates in force during the trace window.
+        assert CATALOG["m3.xlarge"].on_demand_price == 0.280
+        assert CATALOG["r3.xlarge"].on_demand_price == 0.350
+        assert CATALOG["r3.4xlarge"].on_demand_price == 1.400
+        assert CATALOG["c3.8xlarge"].on_demand_price == 1.680
+
+    def test_table2_shapes(self):
+        r34 = CATALOG["r3.4xlarge"]
+        assert (r34.vcpus, r34.memory_gib, r34.storage) == (16, 122.0, "1x320")
+        c38 = CATALOG["c3.8xlarge"]
+        assert (c38.vcpus, c38.memory_gib, c38.storage) == (32, 60.0, "2x320")
+
+    def test_family_and_size_split(self):
+        it = CATALOG["c3.4xlarge"]
+        assert it.family == "c3"
+        assert it.size == "4xlarge"
+
+    def test_floors_are_realistic_fractions(self):
+        for it in CATALOG.values():
+            ratio = it.market.pi_min / it.on_demand_price
+            assert 0.05 < ratio < 0.15
+
+    def test_market_params_generative(self):
+        # β must exceed π̄ − 2π_min for the equilibrium model to exist.
+        for it in CATALOG.values():
+            assert it.market.beta > it.on_demand_price - 2 * it.market.pi_min
+
+    def test_floor_masses_in_sweet_spot(self):
+        for it in CATALOG.values():
+            assert 0.6 <= it.market.floor_mass <= 0.9
+
+
+class TestLookup:
+    def test_get_known(self):
+        assert get_instance_type("r3.xlarge").name == "r3.xlarge"
+
+    def test_get_unknown_lists_options(self):
+        with pytest.raises(CatalogError) as exc:
+            get_instance_type("p5.48xlarge")
+        assert "r3.xlarge" in str(exc.value)
+
+    def test_list_sorted(self):
+        names = list_instance_types()
+        assert list(names) == sorted(names)
+        assert len(names) == len(CATALOG)
+
+
+class TestValidation:
+    def _params(self, **overrides):
+        base = dict(
+            beta=0.3, theta=0.02, alpha=3.0, eta=1e-4,
+            pi_min=0.03, floor_mass=0.7,
+        )
+        base.update(overrides)
+        return MarketModelParams(**base)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("beta", 0.0), ("theta", -0.1), ("alpha", 1.0), ("eta", 0.0),
+         ("pi_min", 0.0), ("floor_mass", 1.0)],
+    )
+    def test_bad_market_params(self, field, value):
+        with pytest.raises(CatalogError):
+            self._params(**{field: value})
+
+    def test_bad_instance_name(self):
+        with pytest.raises(CatalogError):
+            InstanceType(
+                name="nodot", vcpus=4, memory_gib=8.0, storage="1x32",
+                on_demand_price=0.2, market=self._params(),
+            )
+
+    def test_floor_must_be_below_half_ondemand(self):
+        with pytest.raises(CatalogError):
+            InstanceType(
+                name="x.large", vcpus=4, memory_gib=8.0, storage="1x32",
+                on_demand_price=0.05, market=self._params(pi_min=0.03),
+            )

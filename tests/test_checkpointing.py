@@ -1,0 +1,131 @@
+"""Checkpoint-interval optimization."""
+
+import math
+
+import pytest
+
+from repro.constants import DEFAULT_SLOT_HOURS, seconds
+from repro.core.types import JobSpec
+from repro.errors import InfeasibleBidError
+from repro.extensions.checkpointing import (
+    CheckpointPolicy,
+    best_capped_bid,
+    conservative_cost,
+    effective_job,
+    optimize_checkpoint_interval,
+)
+
+
+class TestPolicy:
+    def test_recovery_time_formula(self):
+        policy = CheckpointPolicy(
+            interval=1.0, checkpoint_cost=0.01, restore_time=0.005
+        )
+        assert math.isclose(policy.recovery_time, 0.005 + 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval=1.0, checkpoint_cost=-0.1)
+
+
+class TestEffectiveJob:
+    def test_overhead_inflates_execution(self):
+        job = JobSpec(execution_time=8.0)
+        policy = CheckpointPolicy(interval=0.5, checkpoint_cost=0.01)
+        eff = effective_job(job, policy)
+        assert math.isclose(eff.execution_time, 8.0 + 16 * 0.01)
+        assert math.isclose(eff.recovery_time, policy.recovery_time)
+
+    def test_rare_checkpoints_cost_little_time(self):
+        job = JobSpec(execution_time=8.0)
+        sparse = effective_job(job, CheckpointPolicy(interval=8.0))
+        dense = effective_job(job, CheckpointPolicy(interval=1 / 60))
+        assert sparse.execution_time < dense.execution_time
+        assert sparse.recovery_time > dense.recovery_time
+
+
+class TestConservativeCost:
+    def test_never_below_execution_cost(self, r3_model):
+        job = JobSpec(4.0, recovery_time=1.0)
+        # At the ceiling (F = 1), cost = t_s · E[π], never t_s − t_r.
+        cost = conservative_cost(r3_model, r3_model.upper, job)
+        assert cost >= 4.0 * r3_model.lower
+
+    def test_matches_phi_scaled_for_small_tr(self, r3_model):
+        from repro.core import costs
+
+        job = JobSpec(4.0, recovery_time=seconds(30))
+        p = r3_model.ppf(0.9)
+        exact = costs.persistent_cost(r3_model, p, job)
+        conservative = conservative_cost(r3_model, p, job)
+        # conservative/exact = t_s/(t_s − t_r) — a hair above 1 here.
+        assert math.isclose(
+            conservative / exact,
+            job.execution_time / (job.execution_time - job.recovery_time),
+            rel_tol=1e-9,
+        )
+
+    def test_infeasible_is_infinite(self, r3_model):
+        # At the floor bid F equals the atom (0.75), so eq. 14 fails once
+        # t_r exceeds t_k/(1 − 0.75) = 4 slots.
+        job = JobSpec(4.0, recovery_time=5 * DEFAULT_SLOT_HOURS)
+        assert math.isinf(conservative_cost(r3_model, r3_model.lower, job))
+
+
+class TestBestCappedBid:
+    def test_uncapped_prefers_the_safe_ceiling_for_huge_tr(self, r3_model):
+        job = JobSpec(8.0, recovery_time=1.0)
+        decision = best_capped_bid(r3_model, job, max_bid=None)
+        # Near-ceiling bid suppresses interruptions entirely.
+        assert decision.acceptance_probability > 0.99
+
+    def test_cap_is_respected(self, r3_model):
+        cap = r3_model.ppf(0.9)
+        job = JobSpec(8.0, recovery_time=seconds(120))
+        decision = best_capped_bid(r3_model, job, max_bid=cap)
+        assert decision.price <= cap + 1e-12
+
+    def test_infeasible_under_tight_cap(self, r3_model):
+        # t_r of an hour needs F > 1 − t_k/t_r ≈ 0.917 > the cap's 0.9.
+        job = JobSpec(8.0, recovery_time=1.0)
+        with pytest.raises(InfeasibleBidError):
+            best_capped_bid(r3_model, job, max_bid=r3_model.ppf(0.9))
+
+
+class TestOptimizer:
+    def test_capped_optimum_is_interior(self, r3_model):
+        job = JobSpec(8.0)
+        intervals = [1 / 60, 5 / 60, 0.5, 2.0, 8.0]
+        plan = optimize_checkpoint_interval(
+            r3_model, job, candidate_intervals=intervals,
+            max_bid=r3_model.ppf(0.9),
+        )
+        assert min(intervals) < plan.policy.interval < max(intervals)
+
+    def test_uncapped_prefers_no_checkpointing(self, r3_model):
+        job = JobSpec(8.0)
+        intervals = [5 / 60, 1.0, 8.0]
+        plan = optimize_checkpoint_interval(
+            r3_model, job, candidate_intervals=intervals
+        )
+        # With the ceiling reachable, the sparsest interval wins.
+        assert plan.policy.interval == 8.0
+
+    def test_plan_carries_consistent_job(self, r3_model):
+        job = JobSpec(8.0)
+        plan = optimize_checkpoint_interval(
+            r3_model, job, max_bid=r3_model.ppf(0.92)
+        )
+        assert plan.job.execution_time > job.execution_time
+        assert plan.total_expected_cost == plan.decision.expected_cost
+
+    def test_all_infeasible_raises(self, r3_model):
+        job = JobSpec(0.2)
+        with pytest.raises(InfeasibleBidError):
+            optimize_checkpoint_interval(
+                r3_model, job,
+                candidate_intervals=[4.0, 8.0],  # t_r ≈ hours
+                max_bid=r3_model.ppf(0.85),
+            )

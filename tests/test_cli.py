@@ -1,0 +1,125 @@
+"""The repro-bid command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "history.csv"
+    assert main(["trace", "r3.xlarge", "--days", "10", "--seed", "3",
+                 "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def future_file(tmp_path):
+    path = tmp_path / "future.csv"
+    assert main(["trace", "r3.xlarge", "--days", "4", "--model", "renewal",
+                 "--seed", "4", "--out", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+
+class TestTrace:
+    def test_writes_csv(self, trace_file, capsys):
+        assert trace_file.exists()
+        text = trace_file.read_text()
+        assert "instance_type=r3.xlarge" in text
+        assert "slot,time_hours,price" in text
+
+    def test_unknown_instance_type_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace", "z9.mega", "--out", str(tmp_path / "x.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBid:
+    def test_all_strategies(self, trace_file, capsys):
+        assert main(["bid", str(trace_file), "--hours", "1",
+                     "--recovery-seconds", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "one-time" in out
+        assert "persistent" in out
+        assert "percentile" in out
+
+    def test_explicit_ondemand(self, trace_file, capsys):
+        assert main(["bid", str(trace_file), "--ondemand", "0.5",
+                     "--strategy", "persistent"]) == 0
+        assert "persistent" in capsys.readouterr().out
+
+    def test_rejects_nonpositive_ondemand(self, trace_file, capsys):
+        assert main(["bid", str(trace_file), "--ondemand", "-1"]) == 1
+
+
+class TestFit:
+    def test_reports_both_families(self, trace_file, capsys):
+        assert main(["fit", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        assert "exponential" in out
+
+
+class TestBacktest:
+    def test_end_to_end(self, trace_file, future_file, capsys):
+        assert main(["backtest", str(trace_file), str(future_file),
+                     "--strategy", "persistent"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome:" in out
+        assert "savings" in out
+
+
+class TestCatalog:
+    def test_lists_types(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "r3.xlarge" in out
+        assert "c3.8xlarge" in out
+
+
+class TestExperimentCommand:
+    def test_table3_fast(self, capsys):
+        assert main(["experiment", "table3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "r3.xlarge" in out
+        assert "one-time p*" in out
+
+
+class TestDescribe:
+    def test_summarizes_trace(self, trace_file, capsys):
+        assert main(["describe", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "floor occupancy" in out
+        assert "r3.xlarge" in out
+
+
+class TestMapReduceCommand:
+    def test_plans_a_cluster(self, capsys):
+        assert main(["mapreduce", "--master", "m3.xlarge",
+                     "--slave", "c3.4xlarge", "--hours", "8",
+                     "--slaves", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "one-time bid" in out
+        assert "persistent bid" in out
+        assert "cheaper" in out
+
+    def test_unknown_type_fails_cleanly(self, capsys):
+        assert main(["mapreduce", "--slave", "z9.mega"]) == 1
+
+
+class TestOptionsCommand:
+    def test_compares_four_options(self, trace_file, capsys):
+        assert main(["options", str(trace_file), "--hours", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("on-demand", "one-time", "persistent", "spot-block"):
+            assert name in out

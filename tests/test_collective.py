@@ -1,0 +1,71 @@
+"""Collective bidding best-response loop (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import seconds
+from repro.core.types import JobSpec
+from repro.errors import DistributionError
+from repro.extensions.collective import (
+    StrategicClass,
+    iterate_collective_bidding,
+)
+from repro.provider.arrivals import ParetoArrivals
+
+
+@pytest.fixture
+def arrivals():
+    return ParetoArrivals(alpha=3.0, minimum=0.05)
+
+
+@pytest.fixture
+def classes():
+    return [
+        StrategicClass(job=JobSpec(1.0, seconds(30)), weight=0.2),
+        StrategicClass(job=JobSpec(3.0, seconds(60)), weight=0.1),
+    ]
+
+
+class TestIteration:
+    def test_runs_and_records_rounds(self, arrivals, classes, rng):
+        outcome = iterate_collective_bidding(
+            classes, arrivals,
+            beta=0.35, theta=0.02, pi_bar=0.35, pi_min=0.03,
+            n_slots=400, max_rounds=4, rng=rng,
+        )
+        assert len(outcome.rounds) >= 2
+        assert outcome.rounds[0].bids == ()  # uniform baseline round
+        assert len(outcome.final_bids) == 2
+        for bid in outcome.final_bids:
+            assert 0.03 <= bid <= 0.35
+
+    def test_small_market_converges(self, arrivals, classes, rng):
+        outcome = iterate_collective_bidding(
+            classes, arrivals,
+            beta=0.35, theta=0.02, pi_bar=0.35, pi_min=0.03,
+            n_slots=400, max_rounds=8, rng=rng,
+        )
+        assert outcome.converged
+
+    def test_price_drift_is_finite(self, arrivals, classes, rng):
+        outcome = iterate_collective_bidding(
+            classes, arrivals,
+            beta=0.35, theta=0.02, pi_bar=0.35, pi_min=0.03,
+            n_slots=400, max_rounds=3, rng=rng,
+        )
+        assert np.isfinite(outcome.price_drift)
+
+
+class TestValidation:
+    def test_weights_must_not_exceed_one(self, arrivals, rng):
+        heavy = [StrategicClass(job=JobSpec(1.0, seconds(30)), weight=0.7)] * 2
+        with pytest.raises(DistributionError):
+            iterate_collective_bidding(
+                heavy, arrivals,
+                beta=0.35, theta=0.02, pi_bar=0.35, pi_min=0.03,
+                n_slots=100, rng=rng,
+            )
+
+    def test_class_weight_validation(self):
+        with pytest.raises(DistributionError):
+            StrategicClass(job=JobSpec(1.0), weight=0.0)

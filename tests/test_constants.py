@@ -1,0 +1,43 @@
+"""Unit conversions and global constants."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    DEFAULT_SLOT_HOURS,
+    HISTORY_WINDOW_DAYS,
+    SLOTS_PER_DAY,
+    minutes,
+    seconds,
+)
+
+
+def test_default_slot_is_five_minutes():
+    assert math.isclose(DEFAULT_SLOT_HOURS, 5.0 / 60.0)
+
+
+def test_slots_per_day_consistent_with_slot_length():
+    assert SLOTS_PER_DAY == 288
+    assert math.isclose(SLOTS_PER_DAY * DEFAULT_SLOT_HOURS, 24.0)
+
+
+def test_history_window_matches_amazons_two_months():
+    assert HISTORY_WINDOW_DAYS == 60
+
+
+def test_seconds_converts_to_hours():
+    assert math.isclose(seconds(3600), 1.0)
+    assert math.isclose(seconds(30), 30.0 / 3600.0)
+    assert seconds(0) == 0.0
+
+
+def test_minutes_converts_to_hours():
+    assert math.isclose(minutes(90), 1.5)
+    assert minutes(0) == 0.0
+
+
+@pytest.mark.parametrize("fn", [seconds, minutes])
+def test_negative_durations_rejected(fn):
+    with pytest.raises(ValueError):
+        fn(-1.0)

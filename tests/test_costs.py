@@ -1,0 +1,212 @@
+"""The Section 5/6 cost formulas (eqs. 8–19)."""
+
+import math
+
+import pytest
+
+from repro.constants import DEFAULT_SLOT_HOURS, seconds
+from repro.core import costs
+from repro.core.distributions import UniformPriceDistribution
+from repro.core.types import JobSpec, ParallelJobSpec
+
+
+@pytest.fixture
+def dist():
+    return UniformPriceDistribution(0.02, 0.10)
+
+
+class TestUninterruptedTime:
+    def test_eq8(self, dist):
+        p = dist.ppf(0.75)
+        expected = DEFAULT_SLOT_HOURS / 0.25
+        assert math.isclose(
+            costs.expected_uninterrupted_time(dist, p, DEFAULT_SLOT_HOURS), expected
+        )
+
+    def test_certain_acceptance_is_infinite(self, dist):
+        assert math.isinf(
+            costs.expected_uninterrupted_time(dist, dist.upper, DEFAULT_SLOT_HOURS)
+        )
+
+
+class TestExpectedPricePaid:
+    def test_eq9_uniform(self, dist):
+        # E[pi | pi <= p] for a uniform is the midpoint of [lower, p].
+        p = 0.06
+        assert math.isclose(costs.expected_price_paid(dist, p), 0.04)
+
+    def test_monotone_in_bid(self, dist):
+        grid = [0.03, 0.05, 0.07, 0.09]
+        paid = [costs.expected_price_paid(dist, p) for p in grid]
+        assert paid == sorted(paid)
+
+
+class TestOnetimeCost:
+    def test_eq10_objective(self, dist):
+        job = JobSpec(execution_time=2.0)
+        assert math.isclose(
+            costs.onetime_cost(dist, 0.06, job),
+            2.0 * costs.expected_price_paid(dist, 0.06),
+        )
+
+
+class TestInterruptions:
+    def test_eq12(self, dist):
+        p = dist.ppf(0.8)
+        T = 2.0
+        expected = (T / DEFAULT_SLOT_HOURS) * 0.8 * 0.2
+        assert math.isclose(
+            costs.expected_interruptions(dist, p, T, DEFAULT_SLOT_HOURS), expected
+        )
+
+    def test_zero_at_certain_acceptance(self, dist):
+        assert costs.expected_interruptions(dist, dist.upper, 5.0, DEFAULT_SLOT_HOURS) == 0.0
+
+
+class TestPersistentRunningTime:
+    def test_eq13(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        p = dist.ppf(0.8)
+        r = job.recovery_time / job.slot_length
+        expected = (1.0 - job.recovery_time) / (1.0 - r * 0.2)
+        assert math.isclose(costs.persistent_running_time(dist, p, job), expected)
+
+    def test_no_recovery_reduces_to_execution_time(self, dist):
+        job = JobSpec(execution_time=1.0)
+        assert math.isclose(
+            costs.persistent_running_time(dist, 0.05, job), 1.0
+        )
+
+    def test_decreasing_in_bid(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(120))
+        times = [
+            costs.persistent_running_time(dist, p, job)
+            for p in (0.03, 0.05, 0.07, 0.09)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_infeasible_recovery_is_infinite(self, dist):
+        # t_r > t_k and a bid accepted so rarely eq. 14 fails.
+        job = JobSpec(execution_time=1.0, recovery_time=2 * DEFAULT_SLOT_HOURS)
+        low_bid = dist.ppf(0.1)
+        assert math.isinf(costs.persistent_running_time(dist, low_bid, job))
+
+    def test_requires_ts_above_tr(self, dist):
+        job = JobSpec(execution_time=0.001, recovery_time=0.002)
+        with pytest.raises(ValueError):
+            costs.persistent_running_time(dist, 0.05, job)
+
+
+class TestInterruptibility:
+    def test_eq14_boundary(self, dist):
+        # t_r < t_k: feasible at every bid price.
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        assert costs.is_interruptible(dist, dist.lower, job)
+
+    def test_eq14_fails_for_slow_recovery_low_bid(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=3 * DEFAULT_SLOT_HOURS)
+        assert not costs.is_interruptible(dist, dist.ppf(0.2), job)
+        assert costs.is_interruptible(dist, dist.ppf(0.9), job)
+
+
+class TestPersistentCost:
+    def test_eq15_product_form(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        p = 0.06
+        expected = costs.persistent_running_time(dist, p, job) * costs.expected_price_paid(dist, p)
+        assert math.isclose(costs.persistent_cost(dist, p, job), expected)
+
+    def test_infinite_when_never_accepted(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        assert math.isinf(costs.persistent_cost(dist, 0.01, job))
+
+    def test_completion_time_adds_idle(self, dist):
+        job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
+        p = dist.ppf(0.5)
+        running = costs.persistent_running_time(dist, p, job)
+        assert math.isclose(
+            costs.persistent_completion_time(dist, p, job), running / 0.5
+        )
+
+
+class TestPsi:
+    def test_uniform_psi_is_constant(self, dist):
+        # For a uniform on [l, u], psi(p) = 2l/(u - l) identically — the
+        # degenerate boundary case of Prop. 5 (PDF not strictly
+        # decreasing).
+        expected = 2 * dist.lower / (dist.upper - dist.lower)
+        for p in (0.03, 0.05, 0.08):
+            assert math.isclose(costs.psi(dist, p), expected, rel_tol=1e-9)
+
+    def test_psi_below_support_is_zero(self, dist):
+        assert costs.psi(dist, 0.01) == 0.0
+
+    def test_psi_from_moments(self, texp_dist):
+        p = 0.08
+        F = texp_dist.cdf(p)
+        S = texp_dist.partial_expectation(p)
+        P = p * F - S
+        assert math.isclose(costs.psi(texp_dist, p), F * (S / P - 1.0), rel_tol=1e-9)
+
+
+class TestParallelFormulas:
+    @pytest.fixture
+    def pjob(self):
+        return ParallelJobSpec(
+            execution_time=4.0,
+            num_instances=4,
+            overhead_time=seconds(60),
+            recovery_time=seconds(30),
+        )
+
+    def test_eq17_total_running_time(self, dist, pjob):
+        p = dist.ppf(0.8)
+        r = pjob.recovery_time / pjob.slot_length
+        expected = pjob.effective_work / (1.0 - r * 0.2)
+        assert math.isclose(
+            costs.parallel_total_running_time(dist, p, pjob), expected
+        )
+
+    def test_eq18_completion_divides_by_m_and_f(self, dist, pjob):
+        p = dist.ppf(0.8)
+        total = costs.parallel_total_running_time(dist, p, pjob)
+        assert math.isclose(
+            costs.parallel_completion_time(dist, p, pjob),
+            total / (4 * 0.8),
+        )
+
+    def test_eq19_cost(self, dist, pjob):
+        p = dist.ppf(0.8)
+        expected = costs.parallel_total_running_time(
+            dist, p, pjob
+        ) * costs.expected_price_paid(dist, p)
+        assert math.isclose(costs.parallel_cost(dist, p, pjob), expected)
+
+    def test_m1_reduces_to_persistent(self, dist):
+        single = ParallelJobSpec(
+            execution_time=4.0, num_instances=1, recovery_time=seconds(30)
+        )
+        job = JobSpec(execution_time=4.0, recovery_time=seconds(30))
+        p = 0.06
+        assert math.isclose(
+            costs.parallel_cost(dist, p, single),
+            costs.persistent_cost(dist, p, job),
+        )
+
+    def test_negative_effective_work_rejected(self, dist):
+        bad = ParallelJobSpec(
+            execution_time=0.1, num_instances=8, recovery_time=0.05
+        )
+        with pytest.raises(ValueError):
+            costs.parallel_total_running_time(dist, 0.06, bad)
+
+
+class TestOndemand:
+    def test_product(self):
+        assert math.isclose(costs.ondemand_cost(0.35, 2.0), 0.70)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            costs.ondemand_cost(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            costs.ondemand_cost(0.1, -1.0)

@@ -1,0 +1,102 @@
+"""Dependent-task (DAG) staged bidding (Section 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import seconds
+from repro.core.types import JobSpec
+from repro.errors import PlanError
+from repro.extensions.dag import TaskGraph, plan_dag, run_dag_on_trace
+from repro.traces.history import SpotPriceHistory
+
+TK = 1.0 / 12.0
+
+
+@pytest.fixture
+def diamond():
+    return TaskGraph(
+        tasks={
+            "a": JobSpec(0.5, seconds(10)),
+            "b": JobSpec(1.0, seconds(30)),
+            "c": JobSpec(0.75, seconds(30)),
+            "d": JobSpec(0.25, seconds(10)),
+        },
+        edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+class TestGraphValidation:
+    def test_cycle_rejected(self):
+        graph = TaskGraph(
+            tasks={"a": JobSpec(1.0), "b": JobSpec(1.0)},
+            edges=[("a", "b"), ("b", "a")],
+        )
+        with pytest.raises(PlanError):
+            graph.graph()
+
+    def test_unknown_task_in_edge_rejected(self):
+        graph = TaskGraph(tasks={"a": JobSpec(1.0)}, edges=[("a", "zzz")])
+        with pytest.raises(PlanError):
+            graph.graph()
+
+
+class TestPlan:
+    def test_critical_path_accumulation(self, empirical_dist, diamond):
+        plan = plan_dag(empirical_dist, diamond)
+        finish = plan.expected_finish
+        bids = plan.bids
+        assert math.isclose(
+            finish["b"], finish["a"] + bids["b"].expected_completion_time
+        )
+        assert math.isclose(
+            finish["d"],
+            max(finish["b"], finish["c"]) + bids["d"].expected_completion_time,
+        )
+        assert plan.expected_completion_time == finish["d"]
+
+    def test_cost_sums_tasks(self, empirical_dist, diamond):
+        plan = plan_dag(empirical_dist, diamond)
+        assert math.isclose(
+            plan.expected_cost,
+            sum(b.expected_cost for b in plan.bids.values()),
+        )
+
+    def test_empty_graph_rejected(self, empirical_dist):
+        with pytest.raises(PlanError):
+            plan_dag(empirical_dist, TaskGraph(tasks={}, edges=[]))
+
+
+class TestRun:
+    def test_constant_price_run_respects_dependencies(self, empirical_dist, diamond):
+        plan = plan_dag(empirical_dist, diamond)
+        future = SpotPriceHistory(prices=np.full(600, 0.0315))
+        result = run_dag_on_trace(plan, diamond, future)
+        assert result.completed
+        finish = result.task_finish
+        # Topological order is visible in the finish times.
+        assert finish["a"] < finish["b"]
+        assert finish["a"] < finish["c"]
+        assert finish["d"] > max(finish["b"], finish["c"])
+        # Work accounting: d finishes after the critical path's work.
+        assert result.completion_time >= 0.5 + 1.0 + 0.25 - 1e-9
+        assert math.isclose(
+            result.total_cost,
+            0.0315 * (0.5 + 1.0 + 0.75 + 0.25),
+            rel_tol=1e-9,
+        )
+
+    def test_short_trace_reports_incomplete(self, empirical_dist, diamond):
+        plan = plan_dag(empirical_dist, diamond)
+        future = SpotPriceHistory(prices=np.full(5, 0.0315))
+        result = run_dag_on_trace(plan, diamond, future)
+        assert not result.completed
+
+    def test_single_task_graph(self, empirical_dist):
+        graph = TaskGraph(tasks={"solo": JobSpec(0.25)}, edges=[])
+        plan = plan_dag(empirical_dist, graph)
+        future = SpotPriceHistory(prices=np.full(100, 0.0315))
+        result = run_dag_on_trace(plan, graph, future)
+        assert result.completed
+        assert math.isclose(result.completion_time, 0.25)

@@ -1,0 +1,206 @@
+"""Price distributions: exactness of every integral quantity."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.distributions import (
+    EmpiricalPriceDistribution,
+    TruncatedExponentialPriceDistribution,
+    UniformPriceDistribution,
+)
+from repro.errors import DistributionError, SupportError
+
+
+class TestEmpirical:
+    @pytest.fixture
+    def samples(self):
+        return np.asarray([0.03, 0.03, 0.04, 0.05, 0.05, 0.05, 0.08, 0.10])
+
+    @pytest.fixture
+    def dist(self, samples):
+        return EmpiricalPriceDistribution(samples)
+
+    def test_support(self, dist):
+        assert dist.lower == 0.03
+        assert dist.upper == 0.10
+        assert dist.n_observations == 8
+
+    def test_cdf_is_exact_ecdf(self, dist, samples):
+        for p in (0.02, 0.03, 0.045, 0.05, 0.09, 0.2):
+            assert dist.cdf(p) == np.mean(samples <= p)
+
+    def test_cdf_array_matches_scalar(self, dist):
+        grid = np.linspace(0.0, 0.12, 37)
+        np.testing.assert_allclose(
+            dist.cdf_array(grid), [dist.cdf(float(p)) for p in grid]
+        )
+
+    def test_partial_expectation_is_exact(self, dist, samples):
+        for p in (0.02, 0.03, 0.05, 0.07, 0.2):
+            expected = samples[samples <= p].sum() / samples.size
+            assert math.isclose(dist.partial_expectation(p), expected)
+
+    def test_partial_second_moment_is_exact(self, dist, samples):
+        for p in (0.04, 0.09):
+            expected = (samples[samples <= p] ** 2).sum() / samples.size
+            assert math.isclose(dist.partial_second_moment(p), expected)
+
+    def test_conditional_mean_below(self, dist, samples):
+        p = 0.05
+        expected = samples[samples <= p].mean()
+        assert math.isclose(dist.conditional_mean_below(p), expected)
+
+    def test_conditional_mean_below_empty_raises(self, dist):
+        with pytest.raises(SupportError):
+            dist.conditional_mean_below(0.01)
+
+    def test_ppf_smallest_value_reaching_quantile(self, dist):
+        # F(0.03) = 0.25, F(0.04) = 0.375, F(0.05) = 0.75 ...
+        assert dist.ppf(0.25) == 0.03
+        assert dist.ppf(0.26) == 0.04
+        assert dist.ppf(0.75) == 0.05
+        assert dist.ppf(0.76) == 0.08
+        assert dist.ppf(0.0) == 0.03
+        assert dist.ppf(1.0) == 0.10
+
+    def test_ppf_cdf_galois_connection(self, dist):
+        for q in np.linspace(0.01, 0.99, 23):
+            assert dist.cdf(dist.ppf(float(q))) >= q - 1e-12
+
+    def test_mean(self, dist, samples):
+        assert math.isclose(dist.mean(), samples.mean())
+
+    def test_percentile(self, dist):
+        assert dist.percentile(75.0) == 0.05
+        with pytest.raises(DistributionError):
+            dist.percentile(101.0)
+
+    def test_candidate_bids_are_unique_sorted(self, dist):
+        cands = dist.candidate_bids()
+        assert list(cands) == [0.03, 0.04, 0.05, 0.08, 0.10]
+
+    def test_sample_draws_from_observations(self, dist, rng):
+        draws = dist.sample(500, rng)
+        assert set(np.unique(draws)) <= {0.03, 0.04, 0.05, 0.08, 0.10}
+
+    def test_explicit_upper(self, samples):
+        dist = EmpiricalPriceDistribution(samples, upper=0.35)
+        assert dist.upper == 0.35
+        assert dist.cdf(0.2) == 1.0
+
+    def test_upper_below_max_rejected(self, samples):
+        with pytest.raises(DistributionError):
+            EmpiricalPriceDistribution(samples, upper=0.05)
+
+    @pytest.mark.parametrize("bad", [[], [0.1, -0.2], [0.1, math.nan], [[0.1]]])
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(DistributionError):
+            EmpiricalPriceDistribution(bad)
+
+    def test_ppf_nan_rejected(self, dist):
+        with pytest.raises(DistributionError):
+            dist.ppf(math.nan)
+
+
+class TestUniform:
+    def test_cdf_pdf(self, uniform_dist):
+        assert uniform_dist.cdf(0.02) == 0.0
+        assert uniform_dist.cdf(0.10) == 1.0
+        assert math.isclose(uniform_dist.cdf(0.06), 0.5)
+        assert math.isclose(uniform_dist.pdf(0.05), 1.0 / 0.08)
+        assert uniform_dist.pdf(0.15) == 0.0
+
+    def test_ppf_inverts_cdf(self, uniform_dist):
+        for q in np.linspace(0, 1, 11):
+            p = uniform_dist.ppf(float(q))
+            assert math.isclose(uniform_dist.cdf(p), q, abs_tol=1e-12)
+
+    def test_partial_expectation_closed_form(self, uniform_dist):
+        p = 0.06
+        expected, _ = integrate.quad(lambda x: x * uniform_dist.pdf(x), 0.02, p)
+        assert math.isclose(uniform_dist.partial_expectation(p), expected, rel_tol=1e-9)
+
+    def test_mean(self, uniform_dist):
+        assert math.isclose(uniform_dist.mean(), 0.06)
+
+    def test_expected_shortfall_identity(self, uniform_dist):
+        p = 0.07
+        shortfall = uniform_dist.expected_shortfall(p)
+        assert math.isclose(
+            shortfall, p * uniform_dist.cdf(p) - uniform_dist.partial_expectation(p)
+        )
+        assert shortfall >= 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            UniformPriceDistribution(0.1, 0.1)
+        with pytest.raises(DistributionError):
+            UniformPriceDistribution(-0.1, 0.2)
+
+    def test_sample_within_support(self, uniform_dist, rng):
+        draws = uniform_dist.sample(1000, rng)
+        assert draws.min() >= uniform_dist.lower
+        assert draws.max() <= uniform_dist.upper
+
+
+class TestTruncatedExponential:
+    def test_cdf_normalized(self, texp_dist):
+        assert texp_dist.cdf(texp_dist.lower) == 0.0
+        assert math.isclose(texp_dist.cdf(texp_dist.upper), 1.0)
+
+    def test_pdf_integrates_to_one(self, texp_dist):
+        total, _ = integrate.quad(texp_dist.pdf, texp_dist.lower, texp_dist.upper)
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_pdf_strictly_decreasing(self, texp_dist):
+        grid = np.linspace(texp_dist.lower, texp_dist.upper, 50)
+        vals = [texp_dist.pdf(float(p)) for p in grid]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_ppf_inverts_cdf(self, texp_dist):
+        for q in np.linspace(0.01, 0.99, 21):
+            p = texp_dist.ppf(float(q))
+            assert math.isclose(texp_dist.cdf(p), q, rel_tol=1e-9)
+
+    def test_partial_expectation_matches_quadrature(self, texp_dist):
+        for p in (0.05, 0.1, 0.2):
+            expected, _ = integrate.quad(
+                lambda x: x * texp_dist.pdf(x), texp_dist.lower, p
+            )
+            assert math.isclose(
+                texp_dist.partial_expectation(p), expected, rel_tol=1e-8
+            )
+
+    def test_mean_equals_full_partial_expectation(self, texp_dist):
+        assert math.isclose(
+            texp_dist.mean(), texp_dist.partial_expectation(texp_dist.upper)
+        )
+
+    def test_conditional_mean_monotone_in_bid(self, texp_dist):
+        grid = np.linspace(texp_dist.lower + 1e-6, texp_dist.upper, 40)
+        means = [texp_dist.conditional_mean_below(float(p)) for p in grid]
+        assert all(a <= b + 1e-12 for a, b in zip(means, means[1:]))
+
+    def test_sample_marginal(self, texp_dist, rng):
+        draws = texp_dist.sample(20000, rng)
+        assert abs(draws.mean() - texp_dist.mean()) < 0.002
+
+    def test_invalid_scale(self):
+        with pytest.raises(DistributionError):
+            TruncatedExponentialPriceDistribution(0.03, 0.2, 0.0)
+
+
+class TestGenericPpfFallback:
+    def test_brentq_path(self, texp_dist):
+        # Exercise the base-class ppf through a minimal subclass without
+        # a closed-form override.
+        class Bare(TruncatedExponentialPriceDistribution):
+            def ppf(self, quantile):  # force the generic implementation
+                return super(TruncatedExponentialPriceDistribution, self).ppf(quantile)
+
+        bare = Bare(0.03, 0.2, 0.02)
+        for q in (0.1, 0.5, 0.9):
+            assert math.isclose(bare.cdf(bare.ppf(q)), q, rel_tol=1e-7)

@@ -1,0 +1,175 @@
+"""Equilibrium price model (Props. 2–3): h, h⁻¹, and the push-forward."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.provider.arrivals import ExponentialArrivals, ParetoArrivals
+from repro.provider.equilibrium import (
+    EquilibriumPriceModel,
+    arrivals_from_price,
+    lambda_min_for_floor,
+    pareto_model_for_floor,
+    pareto_model_with_atom,
+    price_from_arrivals,
+)
+
+BETA, THETA, PI_BAR, PI_MIN = 0.35, 0.02, 0.35, 0.0315
+
+
+class TestMapping:
+    def test_h_inverse_roundtrip(self):
+        for lam in (0.01, 0.05, 0.3, 2.0):
+            price = price_from_arrivals(lam, BETA, THETA, PI_BAR)
+            back = arrivals_from_price(price, BETA, THETA, PI_BAR)
+            assert math.isclose(back, lam, rel_tol=1e-10)
+
+    def test_h_monotone_increasing(self):
+        lams = np.linspace(0.0, 2.0, 30)
+        prices = [price_from_arrivals(float(x), BETA, THETA, PI_BAR) for x in lams]
+        assert all(a < b for a, b in zip(prices, prices[1:]))
+
+    def test_h_approaches_half_ondemand(self):
+        assert price_from_arrivals(1e12, BETA, THETA, PI_BAR) < PI_BAR / 2
+        assert math.isclose(
+            price_from_arrivals(1e12, BETA, THETA, PI_BAR), PI_BAR / 2, rel_tol=1e-9
+        )
+
+    def test_h_inverse_rejects_prices_above_half(self):
+        with pytest.raises(DistributionError):
+            arrivals_from_price(PI_BAR / 2, BETA, THETA, PI_BAR)
+
+    def test_lambda_min_formula(self):
+        expected = THETA * (BETA / (PI_BAR - 2 * PI_MIN) - 1.0)
+        assert math.isclose(
+            lambda_min_for_floor(PI_MIN, BETA, THETA, PI_BAR), expected
+        )
+
+
+class TestParetoModelNoAtom:
+    @pytest.fixture
+    def model(self):
+        return pareto_model_for_floor(
+            beta=BETA, theta=THETA, alpha=3.0, pi_bar=PI_BAR, pi_min=PI_MIN
+        )
+
+    def test_support(self, model):
+        assert model.lower == PI_MIN
+        assert math.isclose(model.upper, PI_BAR / 2)
+        assert model.floor_mass == pytest.approx(0.0, abs=1e-12)
+
+    def test_cdf_limits(self, model):
+        assert model.cdf(PI_MIN - 1e-6) == 0.0
+        assert model.cdf(model.upper) == 1.0
+
+    def test_cdf_is_arrival_pushforward(self, model):
+        p = 0.05
+        lam = model.h_inverse(p)
+        assert math.isclose(model.cdf(p), model.arrivals.cdf(lam))
+
+    def test_ppf_cdf_roundtrip(self, model):
+        for q in (0.05, 0.5, 0.9, 0.99):
+            assert math.isclose(model.cdf(model.ppf(q)), q, rel_tol=1e-9)
+
+    def test_partial_expectation_matches_monte_carlo(self, model, rng):
+        draws = model.sample(200000, rng)
+        for p in (0.04, 0.06, model.upper):
+            mc = draws[draws <= p].sum() / draws.size
+            assert math.isclose(model.partial_expectation(p), mc, rel_tol=0.02)
+
+    def test_pdf_conventions_differ_by_jacobian(self, model):
+        p = 0.05
+        paper = model.pdf(p, jacobian=False)
+        exact = model.pdf(p, jacobian=True)
+        jac = 2 * THETA * BETA / (PI_BAR - 2 * p) ** 2
+        assert math.isclose(exact, paper * jac, rel_tol=1e-12)
+
+    def test_exact_pdf_integrates_to_one(self, model):
+        from scipy import integrate
+
+        total, _ = integrate.quad(
+            lambda x: model.pdf(x, jacobian=True),
+            model.lower, model.upper, limit=300,
+        )
+        assert math.isclose(total, 1.0, rel_tol=1e-6)
+
+    def test_beta_too_small_rejected(self):
+        with pytest.raises(DistributionError):
+            pareto_model_for_floor(
+                beta=0.05, theta=THETA, alpha=3.0, pi_bar=PI_BAR, pi_min=PI_MIN
+            )
+
+
+class TestAtomModel:
+    @pytest.fixture
+    def model(self):
+        return pareto_model_with_atom(
+            beta=BETA, theta=THETA, alpha=3.0,
+            pi_bar=PI_BAR, pi_min=PI_MIN, floor_mass=0.6,
+        )
+
+    def test_floor_mass_exact(self, model):
+        assert math.isclose(model.floor_mass, 0.6, rel_tol=1e-12)
+        assert math.isclose(model.cdf(PI_MIN), 0.6, rel_tol=1e-12)
+
+    def test_sampled_floor_fraction(self, model, rng):
+        draws = model.sample(100000, rng)
+        frac = np.mean(draws <= PI_MIN + 1e-12)
+        assert abs(frac - 0.6) < 0.01
+
+    def test_ppf_inside_atom_returns_floor(self, model):
+        assert model.ppf(0.3) == PI_MIN
+        assert model.ppf(0.6) == PI_MIN
+        assert model.ppf(0.61) > PI_MIN
+
+    def test_partial_expectation_includes_atom(self, model):
+        value = model.partial_expectation(PI_MIN)
+        assert math.isclose(value, PI_MIN * 0.6, rel_tol=1e-12)
+
+    def test_mean_between_floor_and_ceiling(self, model):
+        assert PI_MIN < model.mean() < model.upper
+
+    def test_conditional_mean_at_floor_is_floor(self, model):
+        assert math.isclose(model.conditional_mean_below(PI_MIN), PI_MIN)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.0, 1.5])
+    def test_invalid_floor_mass(self, q):
+        with pytest.raises(DistributionError):
+            pareto_model_with_atom(
+                beta=BETA, theta=THETA, alpha=3.0,
+                pi_bar=PI_BAR, pi_min=PI_MIN, floor_mass=q,
+            )
+
+    def test_zero_mass_recovers_no_atom_model(self):
+        a = pareto_model_with_atom(
+            beta=BETA, theta=THETA, alpha=3.0,
+            pi_bar=PI_BAR, pi_min=PI_MIN, floor_mass=0.0,
+        )
+        b = pareto_model_for_floor(
+            beta=BETA, theta=THETA, alpha=3.0, pi_bar=PI_BAR, pi_min=PI_MIN
+        )
+        for p in (0.035, 0.05, 0.1):
+            assert math.isclose(a.cdf(p), b.cdf(p), rel_tol=1e-12)
+
+
+class TestExponentialModel:
+    def test_exponential_arrivals_create_natural_atom(self):
+        model = EquilibriumPriceModel(
+            ExponentialArrivals(eta=0.05),
+            beta=BETA, theta=THETA, pi_bar=PI_BAR, pi_min=PI_MIN,
+        )
+        # Arrivals below Λ_min clip onto the floor.
+        assert model.floor_mass > 0.0
+        assert math.isclose(
+            model.floor_mass,
+            ExponentialArrivals(eta=0.05).cdf(model.lambda_floor),
+        )
+
+    def test_floor_above_half_ondemand_rejected(self):
+        with pytest.raises(DistributionError):
+            EquilibriumPriceModel(
+                ParetoArrivals(alpha=3.0, minimum=0.1),
+                beta=BETA, theta=THETA, pi_bar=PI_BAR, pi_min=0.2,
+            )

@@ -1,0 +1,44 @@
+"""The market event log."""
+
+from repro.market.events import EventKind, EventLog, MarketEvent
+
+
+def _event(kind, request_id=None, slot=0):
+    return MarketEvent(
+        kind=kind, slot=slot, time_hours=slot / 12.0, request_id=request_id
+    )
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog()
+        log.record(_event(EventKind.PRICE_SET))
+        log.record(_event(EventKind.INSTANCE_LAUNCHED, request_id=1))
+        assert len(log) == 2
+        assert [e.kind for e in log] == [
+            EventKind.PRICE_SET, EventKind.INSTANCE_LAUNCHED,
+        ]
+
+    def test_for_request_filters(self):
+        log = EventLog()
+        log.record(_event(EventKind.INSTANCE_LAUNCHED, request_id=1))
+        log.record(_event(EventKind.INSTANCE_LAUNCHED, request_id=2))
+        log.record(_event(EventKind.JOB_COMPLETED, request_id=1, slot=3))
+        events = log.for_request(1)
+        assert len(events) == 2
+        assert events[-1].kind is EventKind.JOB_COMPLETED
+
+    def test_of_kind_and_count(self):
+        log = EventLog()
+        for slot in range(4):
+            log.record(_event(EventKind.PRICE_SET, slot=slot))
+        log.record(_event(EventKind.REQUEST_FAILED, request_id=7))
+        assert len(log.of_kind(EventKind.PRICE_SET)) == 4
+        assert log.count(EventKind.PRICE_SET) == 4
+        assert log.count(EventKind.REQUEST_FAILED, request_id=7) == 1
+        assert log.count(EventKind.REQUEST_FAILED, request_id=8) == 0
+
+    def test_disabled_log_drops_events(self):
+        log = EventLog(enabled=False)
+        log.record(_event(EventKind.PRICE_SET))
+        assert len(log) == 0

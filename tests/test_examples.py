@@ -1,0 +1,36 @@
+"""Every example script must run clean end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "single_instance_bidding",
+        "mapreduce_wordcount",
+        "provider_market",
+        "dag_pipeline",
+        "collective_market",
+        "fleet_allocation",
+    } <= names

@@ -1,0 +1,151 @@
+"""The fast persistent-run path must match the full market engine.
+
+The equivalence is the point: two independent implementations of the
+Section 3.2 semantics agreeing on random traces is the strongest
+correctness evidence either one has.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_SLOT_HOURS
+from repro.core.types import BidKind
+from repro.errors import MarketError
+from repro.market.fastpath import fast_persistent_outcome
+from repro.market.price_sources import TracePriceSource
+from repro.market.simulator import SpotMarket
+from repro.traces.history import SpotPriceHistory
+
+TK = DEFAULT_SLOT_HOURS
+
+
+def engine_outcome(prices, bid, work, recovery):
+    market = SpotMarket(TracePriceSource(SpotPriceHistory(prices=np.asarray(prices))))
+    rid = market.submit(
+        bid_price=bid, work=work, kind=BidKind.PERSISTENT, recovery_time=recovery
+    )
+    for _ in range(len(prices)):
+        market.step()
+        if not market.has_active_requests():
+            break
+    return market.outcome(rid)
+
+
+class TestEquivalence:
+    @given(
+        prices=st.lists(
+            st.floats(min_value=0.01, max_value=0.2,
+                      allow_nan=False, allow_infinity=False),
+            min_size=5, max_size=100,
+        ),
+        bid=st.floats(min_value=0.0, max_value=0.25),
+        work_slots=st.floats(min_value=0.2, max_value=12.0),
+        recovery_slots=st.floats(min_value=0.0, max_value=2.5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fastpath_matches_engine(self, prices, bid, work_slots, recovery_slots):
+        work = work_slots * TK
+        recovery = recovery_slots * TK
+        fast = fast_persistent_outcome(
+            np.asarray(prices), bid, work, recovery, TK
+        )
+        slow = engine_outcome(prices, bid, work, recovery)
+
+        assert fast.completed == slow.completed
+        assert math.isclose(fast.cost, slow.cost, rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(
+            fast.running_time, slow.running_time, rel_tol=1e-9, abs_tol=1e-12
+        )
+        assert math.isclose(
+            fast.recovery_time_used, slow.recovery_time_used,
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+        if fast.completed:
+            assert math.isclose(
+                fast.completion_time, slow.completion_time, rel_tol=1e-9
+            )
+            assert fast.interruptions == slow.interruptions
+            assert math.isclose(
+                fast.idle_time, slow.idle_time, rel_tol=1e-9, abs_tol=1e-12
+            )
+
+    def test_never_accepted(self):
+        fast = fast_persistent_outcome(
+            np.full(10, 0.2), bid=0.1, work=1.0, recovery_time=0.0,
+            slot_length=TK,
+        )
+        assert not fast.completed
+        assert fast.cost == 0.0
+        assert math.isclose(fast.idle_time, 10 * TK)
+
+    def test_simple_uninterrupted_run(self):
+        fast = fast_persistent_outcome(
+            np.full(30, 0.03), bid=0.05, work=1.0, recovery_time=0.0,
+            slot_length=TK,
+        )
+        assert fast.completed
+        assert math.isclose(fast.cost, 0.03)
+        assert math.isclose(fast.completion_time, 1.0)
+        assert fast.interruptions == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MarketError):
+            fast_persistent_outcome(np.asarray([]), 0.1, 1.0, 0.0, TK)
+        with pytest.raises(MarketError):
+            fast_persistent_outcome(np.asarray([0.1]), 0.1, 0.0, 0.0, TK)
+
+    def test_faster_than_engine(self):
+        import time
+
+        prices = np.full(5000, 0.03)
+        start = time.perf_counter()
+        for _ in range(20):
+            fast_persistent_outcome(prices, 0.05, 300.0, 0.01, TK)
+        fast_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(2):
+            engine_outcome(prices, 0.05, 300.0, 0.01)
+        slow_elapsed = (time.perf_counter() - start) * 10
+        assert fast_elapsed < slow_elapsed
+
+
+def engine_onetime_outcome(prices, bid, work):
+    market = SpotMarket(TracePriceSource(SpotPriceHistory(prices=np.asarray(prices))))
+    rid = market.submit(bid_price=bid, work=work, kind=BidKind.ONE_TIME)
+    for _ in range(len(prices)):
+        market.step()
+        if not market.has_active_requests():
+            break
+    return market.outcome(rid)
+
+
+class TestOnetimeEquivalence:
+    @given(
+        prices=st.lists(
+            st.floats(min_value=0.01, max_value=0.2,
+                      allow_nan=False, allow_infinity=False),
+            min_size=5, max_size=100,
+        ),
+        bid=st.floats(min_value=0.0, max_value=0.25),
+        work_slots=st.floats(min_value=0.2, max_value=12.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fast_onetime_matches_engine(self, prices, bid, work_slots):
+        from repro.market.fastpath import fast_onetime_outcome
+
+        work = work_slots * TK
+        fast = fast_onetime_outcome(np.asarray(prices), bid, work, TK)
+        slow = engine_onetime_outcome(prices, bid, work)
+        assert fast.completed == slow.completed
+        assert math.isclose(fast.cost, slow.cost, rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(
+            fast.running_time, slow.running_time, rel_tol=1e-9, abs_tol=1e-12
+        )
+        if fast.completed:
+            assert math.isclose(
+                fast.completion_time, slow.completion_time, rel_tol=1e-9
+            )

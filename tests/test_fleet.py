@@ -1,0 +1,125 @@
+"""Fleet bidding across instance types."""
+
+import math
+
+import pytest
+
+from repro.constants import seconds
+from repro.core.fleet import (
+    plan_fleet,
+    rank_fleet_options,
+    run_fleet,
+)
+from repro.errors import PlanError
+from repro.traces.generator import (
+    generate_equilibrium_history,
+    generate_renewal_history,
+)
+
+TYPES = ("c3.xlarge", "c3.2xlarge", "r3.xlarge")
+
+
+@pytest.fixture
+def histories(rng):
+    return {
+        name: generate_equilibrium_history(name, days=30, rng=rng)
+        for name in TYPES
+    }
+
+
+class TestRanking:
+    def test_ranked_by_cost_per_vcpu_hour(self, histories):
+        options = rank_fleet_options(
+            histories, work_vcpu_hours=32.0, recovery_time=seconds(30)
+        )
+        costs = [o.cost_per_vcpu_hour for o in options]
+        assert costs == sorted(costs)
+        assert {o.instance_type.name for o in options} == set(TYPES)
+
+    def test_spot_beats_ondemand_per_unit(self, histories):
+        for option in rank_fleet_options(histories, work_vcpu_hours=32.0):
+            assert option.cost_per_vcpu_hour < option.ondemand_cost_per_vcpu_hour
+
+    def test_execution_time_scales_with_vcpus(self, histories):
+        options = {
+            o.instance_type.name: o
+            for o in rank_fleet_options(histories, work_vcpu_hours=32.0)
+        }
+        # 32 vCPU-hours: 8h on 4 vCPUs, 4h on 8 vCPUs.
+        assert math.isclose(options["c3.xlarge"].execution_time, 8.0)
+        assert math.isclose(options["c3.2xlarge"].execution_time, 4.0)
+
+    def test_validation(self, histories):
+        with pytest.raises(PlanError):
+            rank_fleet_options(histories, work_vcpu_hours=0.0)
+        with pytest.raises(PlanError):
+            rank_fleet_options({}, work_vcpu_hours=1.0)
+
+
+class TestPlanning:
+    def test_cheapest_uses_one_type(self, histories):
+        plan = plan_fleet(histories, work_vcpu_hours=32.0, strategy="cheapest")
+        assert len(plan.allocations) == 1
+        assert math.isclose(plan.allocations[0].work_vcpu_hours, 32.0)
+
+    def test_diversified_splits_by_capacity(self, histories):
+        plan = plan_fleet(
+            histories, work_vcpu_hours=32.0,
+            strategy="diversified", max_types=3,
+        )
+        assert len(plan.allocations) == 3
+        total = sum(a.work_vcpu_hours for a in plan.allocations)
+        assert math.isclose(total, 32.0)
+        # Capacity-weighted split → identical execution times.
+        times = [a.job.execution_time for a in plan.allocations]
+        assert max(times) - min(times) < 1e-9
+
+    def test_expected_metrics(self, histories):
+        plan = plan_fleet(histories, work_vcpu_hours=32.0)
+        assert plan.total_expected_cost > 0
+        assert plan.expected_completion_time > 0
+
+    def test_unknown_strategy(self, histories):
+        with pytest.raises(PlanError):
+            plan_fleet(histories, work_vcpu_hours=32.0, strategy="yolo")
+
+
+class TestExecution:
+    def test_run_on_futures(self, histories, rng):
+        plan = plan_fleet(
+            histories, work_vcpu_hours=32.0,
+            recovery_time=seconds(30), strategy="diversified", max_types=3,
+        )
+        futures = {
+            name: generate_renewal_history(name, days=8, rng=rng)
+            for name in TYPES
+        }
+        result = run_fleet(plan, futures)
+        assert result.completed
+        assert result.total_cost > 0
+        assert set(result.per_type_cost) == {
+            a.instance_type.name for a in plan.allocations
+        }
+        assert math.isclose(
+            result.total_cost, sum(result.per_type_cost.values())
+        )
+
+    def test_missing_future_rejected(self, histories, rng):
+        plan = plan_fleet(histories, work_vcpu_hours=32.0, strategy="cheapest")
+        with pytest.raises(PlanError):
+            run_fleet(plan, {})
+
+    def test_fleet_saves_vs_ondemand(self, histories, rng):
+        plan = plan_fleet(
+            histories, work_vcpu_hours=32.0, strategy="diversified"
+        )
+        futures = {
+            name: generate_renewal_history(name, days=8, rng=rng)
+            for name in TYPES
+        }
+        result = run_fleet(plan, futures)
+        ondemand = sum(
+            a.job.execution_time * a.instance_type.on_demand_price
+            for a in plan.allocations
+        )
+        assert result.total_cost < 0.25 * ondemand

@@ -1,0 +1,90 @@
+"""Baseline heuristics: percentile bids and the retrospective price."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import percentile_bid, retrospective_best_price
+from repro.core.types import BidKind, JobSpec
+from repro.errors import TraceError
+
+
+class TestPercentileBid:
+    def test_bids_the_requested_percentile(self, empirical_dist, hour_job):
+        decision = percentile_bid(empirical_dist, hour_job, percentile=90.0)
+        assert decision.price == empirical_dist.percentile(90.0)
+        assert decision.kind is BidKind.PERSISTENT
+
+    def test_onetime_variant(self, empirical_dist, hour_job):
+        decision = percentile_bid(
+            empirical_dist, hour_job, percentile=95.0, kind=BidKind.ONE_TIME
+        )
+        assert decision.kind is BidKind.ONE_TIME
+        assert decision.expected_interruptions == 0.0
+
+    def test_higher_percentile_never_cheaper_bid(self, empirical_dist, hour_job):
+        low = percentile_bid(empirical_dist, hour_job, percentile=50.0)
+        high = percentile_bid(empirical_dist, hour_job, percentile=99.0)
+        assert high.price >= low.price
+
+    def test_invalid_percentile(self, empirical_dist, hour_job):
+        with pytest.raises(ValueError):
+            percentile_bid(empirical_dist, hour_job, percentile=120.0)
+
+    def test_costs_match_model(self, empirical_dist, hour_job):
+        from repro.core import costs
+
+        decision = percentile_bid(empirical_dist, hour_job, percentile=90.0)
+        assert math.isclose(
+            decision.expected_cost,
+            costs.persistent_cost(empirical_dist, decision.price, hour_job),
+        )
+
+
+class TestRetrospectivePrice:
+    def test_flat_history_returns_the_flat_price(self):
+        prices = np.full(120, 0.04)
+        assert retrospective_best_price(prices) == 0.04
+
+    def test_finds_cheapest_survivable_window(self):
+        # 24 slots; one clean hour at 0.03 after a spike to 0.5.
+        prices = np.asarray([0.5] * 12 + [0.03] * 12)
+        assert retrospective_best_price(
+            prices, lookback_slots=24, run_slots=12
+        ) == 0.03
+
+    def test_window_max_is_the_survival_price(self):
+        # Every window contains the 0.09 spike except none — min over
+        # window maxima is 0.09 when the spike recurs every 6 slots.
+        prices = np.asarray([0.03, 0.03, 0.03, 0.03, 0.03, 0.09] * 4)
+        assert retrospective_best_price(
+            prices, lookback_slots=24, run_slots=12
+        ) == 0.09
+
+    def test_lookback_restricts_view(self):
+        # Old cheap hour outside the lookback must be ignored.
+        prices = np.asarray([0.02] * 12 + [0.5] * 6 + [0.07] * 12)
+        assert retrospective_best_price(
+            prices, lookback_slots=12, run_slots=12
+        ) == 0.07
+
+    def test_run_longer_than_history_rejected(self):
+        with pytest.raises(TraceError):
+            retrospective_best_price([0.03] * 5, lookback_slots=12, run_slots=12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            retrospective_best_price([0.03] * 24, run_slots=0)
+        with pytest.raises(ValueError):
+            retrospective_best_price([0.03] * 24, lookback_slots=6, run_slots=12)
+
+    def test_can_undershoot_the_safe_onetime_bid(self, r3_model, rng):
+        # The paper's point: 10 hours of history can suggest a price
+        # below the optimal one-time bid, risking termination.
+        from repro.core.onetime import optimal_onetime_bid
+
+        calm = np.full(120, r3_model.lower)
+        retro = retrospective_best_price(calm)
+        onetime = optimal_onetime_bid(r3_model, JobSpec(1.0))
+        assert retro < onetime.price

@@ -1,0 +1,151 @@
+"""The per-slot instance lifecycle engine, driven by scripted prices."""
+
+import math
+
+import pytest
+
+from repro.core.types import BidKind
+from repro.market.events import EventKind, EventLog
+from repro.market.instance import advance_request, cancel_request
+from repro.market.requests import RequestState, SpotRequest
+
+TK = 1.0 / 12.0  # five-minute slots
+
+
+def make_request(**overrides):
+    base = dict(
+        request_id=1, bid_price=0.05, kind=BidKind.PERSISTENT, work=TK * 3,
+    )
+    base.update(overrides)
+    return SpotRequest(**base)
+
+
+def drive(request, prices, log=None):
+    log = log if log is not None else EventLog()
+    for slot, price in enumerate(prices):
+        advance_request(request, price, slot, TK, log)
+    return log
+
+
+class TestLaunchAndRun:
+    def test_accepted_immediately_runs_to_completion(self):
+        r = make_request(work=TK * 2)
+        drive(r, [0.03, 0.03, 0.03])
+        assert r.state is RequestState.COMPLETED
+        assert math.isclose(r.running_hours, TK * 2)
+        assert r.idle_hours == 0.0
+        assert r.interruptions == 0
+        assert math.isclose(r.completed_at, TK * 2)
+
+    def test_pending_until_price_drops(self):
+        r = make_request(work=TK)
+        drive(r, [0.08, 0.08, 0.03, 0.03])
+        assert r.state is RequestState.COMPLETED
+        assert math.isclose(r.idle_hours, 2 * TK)
+        assert math.isclose(r.completed_at, 3 * TK)
+
+    def test_mid_slot_completion_charges_fraction(self):
+        r = make_request(work=TK / 2)
+        drive(r, [0.04])
+        assert r.state is RequestState.COMPLETED
+        assert math.isclose(r.running_hours, TK / 2)
+        assert math.isclose(r.cost, 0.04 * TK / 2)
+
+    def test_equal_bid_and_price_is_accepted(self):
+        r = make_request(bid_price=0.05, work=TK)
+        drive(r, [0.05])
+        assert r.state is RequestState.COMPLETED
+
+
+class TestOneTime:
+    def test_outbid_while_running_fails_permanently(self):
+        r = make_request(kind=BidKind.ONE_TIME, work=TK * 10)
+        drive(r, [0.03, 0.09, 0.03])
+        assert r.state is RequestState.FAILED
+        assert math.isclose(r.running_hours, TK)  # ran one slot
+        assert r.closed_at == TK
+
+    def test_pending_one_time_survives_high_prices(self):
+        # Amazon semantics: an unfulfilled one-time request stays open.
+        r = make_request(kind=BidKind.ONE_TIME, work=TK)
+        drive(r, [0.09, 0.09, 0.03])
+        assert r.state is RequestState.COMPLETED
+
+
+class TestPersistentInterruption:
+    def test_interruption_counts_and_recovery_charged(self):
+        recovery = TK / 2
+        r = make_request(work=TK * 2, recovery_time=recovery)
+        drive(r, [0.03, 0.09, 0.03, 0.03, 0.03])
+        assert r.state is RequestState.COMPLETED
+        assert r.interruptions == 1
+        assert math.isclose(r.recovery_hours, recovery)
+        # Total running time = work + one recovery.
+        assert math.isclose(r.running_hours, TK * 2 + recovery)
+        assert math.isclose(r.idle_hours, TK)  # the out-bid slot
+
+    def test_progress_survives_interruption(self):
+        r = make_request(work=TK * 2)
+        drive(r, [0.03, 0.09, 0.03])
+        # One slot of work done, one idle, one more slot: complete.
+        assert r.state is RequestState.COMPLETED
+        assert r.interruptions == 1
+
+    def test_multi_slot_recovery_spans_slots(self):
+        recovery = TK * 1.5
+        r = make_request(work=TK * 2, recovery_time=recovery)
+        prices = [0.03, 0.09] + [0.03] * 5
+        drive(r, prices)
+        assert r.state is RequestState.COMPLETED
+        assert math.isclose(r.recovery_hours, recovery)
+        # Total running time = all the work plus the whole recovery.
+        assert math.isclose(r.running_hours, TK * 2 + recovery)
+
+    def test_costs_accumulate_at_spot_prices(self):
+        r = make_request(work=TK * 2)
+        drive(r, [0.03, 0.04])
+        assert math.isclose(r.cost, (0.03 + 0.04) * TK)
+
+
+class TestCancellation:
+    def test_cancel_active_request(self):
+        r = make_request(work=TK * 100)
+        log = EventLog()
+        advance_request(r, 0.03, 0, TK, log)
+        cancel_request(r, 1, TK, log)
+        assert r.state is RequestState.CANCELLED
+        assert r.closed_at == TK
+        assert log.count(EventKind.REQUEST_CANCELLED, 1) == 1
+
+    def test_cancel_terminal_request_is_noop(self):
+        r = make_request(work=TK)
+        log = drive(r, [0.03])
+        cancel_request(r, 5, TK, log)
+        assert r.state is RequestState.COMPLETED
+
+
+class TestEventTrail:
+    def test_launch_outbid_resume_complete_sequence(self):
+        r = make_request(work=TK * 2, recovery_time=TK / 4)
+        log = drive(r, [0.03, 0.09, 0.03, 0.03])
+        kinds = [e.kind for e in log.for_request(1)]
+        assert kinds == [
+            EventKind.INSTANCE_LAUNCHED,
+            EventKind.INSTANCE_OUTBID,
+            EventKind.INSTANCE_RESUMED,
+            EventKind.RECOVERY_STARTED,
+            EventKind.JOB_COMPLETED,
+        ]
+
+    def test_terminal_requests_ignore_further_slots(self):
+        r = make_request(work=TK)
+        log = drive(r, [0.03, 0.03, 0.03])
+        assert r.state is RequestState.COMPLETED
+        assert math.isclose(r.running_hours, TK)
+
+
+class TestGuards:
+    def test_advancing_before_submission_slot_rejected(self):
+        r = make_request(submitted_slot=5)
+        with pytest.raises(Exception):
+            advance_request(r, 0.03, 2, TK, EventLog())

@@ -1,0 +1,80 @@
+"""Prop. 1: Lyapunov drift bound and empirical drift estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.provider.arrivals import DeterministicArrivals, ParetoArrivals
+from repro.provider.lyapunov import (
+    drift_bound,
+    empirical_drift,
+    empirical_drift_vs_queue,
+)
+from repro.provider.queue import ProviderSimulation
+
+PI_BAR, PI_MIN, THETA = 0.35, 0.03, 0.02
+
+
+class TestDriftBound:
+    def test_constants_formulas(self):
+        arrivals = DeterministicArrivals(0.5)
+        bound = drift_bound(arrivals, THETA, PI_BAR, PI_MIN)
+        lam, sigma = 0.5, 0.0
+        expected_b = (PI_BAR - PI_MIN) * lam * lam / (2 * THETA * PI_MIN) + sigma / 2
+        expected_eps = THETA * lam * PI_BAR / (4 * (PI_BAR - PI_MIN))
+        assert math.isclose(bound.constant, expected_b)
+        assert math.isclose(bound.slope, expected_eps)
+        assert math.isclose(bound.stable_queue_level, expected_b / expected_eps)
+
+    def test_evaluate_is_affine(self):
+        bound = drift_bound(DeterministicArrivals(0.5), THETA, PI_BAR, PI_MIN)
+        assert math.isclose(
+            bound.evaluate(10.0), bound.constant - 10.0 * bound.slope
+        )
+
+    def test_requires_finite_moments(self):
+        heavy = ParetoArrivals(alpha=1.5, minimum=0.1)  # infinite variance
+        with pytest.raises(ValueError):
+            drift_bound(heavy, THETA, PI_BAR, PI_MIN)
+
+    def test_requires_positive_floor(self):
+        with pytest.raises(ValueError):
+            drift_bound(DeterministicArrivals(0.5), THETA, PI_BAR, 0.0)
+
+
+class TestEmpiricalDrift:
+    def test_definition(self):
+        series = np.asarray([2.0, 3.0, 1.0])
+        drift = empirical_drift(series)
+        np.testing.assert_allclose(drift, [0.5 * (9 - 4), 0.5 * (1 - 9)])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            empirical_drift(np.asarray([1.0]))
+
+    def test_binned_conditional_drift(self):
+        # A sawtooth: drift is positive at low L, negative at high L.
+        series = np.asarray([1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0])
+        centers, means = empirical_drift_vs_queue(series, n_bins=2)
+        assert means[0] > 0  # from L=1 upward
+        assert means[-1] < 0  # from L=5 downward
+
+
+class TestDriftOnSimulation:
+    def test_overloaded_queue_drains(self, rng):
+        arrivals = ParetoArrivals(alpha=3.0, minimum=0.02)
+        bound = drift_bound(arrivals, THETA, PI_BAR, PI_MIN)
+        sim = ProviderSimulation(
+            arrivals=arrivals, beta=0.35, theta=THETA,
+            pi_bar=PI_BAR, pi_min=PI_MIN,
+            initial_demand=5.0 * bound.stable_queue_level,
+        )
+        trace = sim.run(3000, rng)
+        above = trace.demand[:-1] > bound.stable_queue_level
+        assert above.any()
+        drifts = empirical_drift(trace.demand)
+        # Negative average drift in the overloaded region (Prop. 1).
+        assert drifts[above].mean() < 0.0
+        # And the queue ends below where it started.
+        assert trace.demand[-1] < trace.demand[0]

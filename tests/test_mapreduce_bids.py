@@ -1,0 +1,193 @@
+"""Section 6: parallel and master/slave bid planning."""
+
+import math
+
+import pytest
+
+from repro.constants import seconds
+from repro.core import costs
+from repro.core.mapreduce import (
+    equivalent_single_job,
+    minimum_slaves,
+    optimal_parallel_bid,
+    parallel_speedup_condition,
+    plan_master_slave,
+    plan_with_optimal_slaves,
+    required_master_time,
+)
+from repro.core.persistent import optimal_persistent_bid
+from repro.core.types import BidKind, MapReduceJobSpec, ParallelJobSpec
+from repro.errors import InfeasibleBidError, PlanError
+
+
+@pytest.fixture
+def pjob():
+    return ParallelJobSpec(
+        execution_time=8.0,
+        num_instances=4,
+        overhead_time=seconds(60),
+        recovery_time=seconds(30),
+    )
+
+
+@pytest.fixture
+def mrjob():
+    return MapReduceJobSpec(
+        execution_time=8.0,
+        num_slaves=4,
+        overhead_time=seconds(60),
+        recovery_time=seconds(30),
+    )
+
+
+class TestEquivalentSingleJob:
+    def test_preserves_phi_shape(self, pjob):
+        surrogate = equivalent_single_job(pjob)
+        assert math.isclose(
+            surrogate.execution_time - surrogate.recovery_time,
+            pjob.effective_work,
+        )
+        assert surrogate.recovery_time == pjob.recovery_time
+        assert surrogate.slot_length == pjob.slot_length
+
+    def test_rejects_nonpositive_effective_work(self):
+        bad = ParallelJobSpec(
+            execution_time=0.05, num_instances=10, recovery_time=0.01
+        )
+        with pytest.raises(InfeasibleBidError):
+            equivalent_single_job(bad)
+
+
+class TestOptimalParallelBid:
+    def test_same_bid_as_surrogate_persistent(self, r3_model, pjob):
+        parallel = optimal_parallel_bid(r3_model, pjob)
+        surrogate = optimal_persistent_bid(r3_model, equivalent_single_job(pjob))
+        assert math.isclose(parallel.price, surrogate.price)
+
+    def test_metrics_use_parallel_formulas(self, r3_model, pjob):
+        decision = optimal_parallel_bid(r3_model, pjob)
+        assert math.isclose(
+            decision.expected_cost,
+            costs.parallel_cost(r3_model, decision.price, pjob),
+        )
+        assert math.isclose(
+            decision.expected_completion_time,
+            costs.parallel_completion_time(r3_model, decision.price, pjob),
+        )
+        assert decision.kind is BidKind.PERSISTENT
+
+    def test_completion_shrinks_with_m(self, r3_model):
+        times = []
+        for m in (1, 2, 4, 8):
+            job = ParallelJobSpec(
+                execution_time=8.0, num_instances=m,
+                overhead_time=seconds(60), recovery_time=seconds(30),
+            )
+            times.append(optimal_parallel_bid(r3_model, job).expected_completion_time)
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_ondemand_ceiling_enforced(self, r3_model, pjob):
+        with pytest.raises(InfeasibleBidError):
+            optimal_parallel_bid(r3_model, pjob, ondemand_price=0.01)
+
+
+class TestSpeedupCondition:
+    def test_splitting_helps_with_small_overhead(self, r3_model, pjob):
+        price = optimal_parallel_bid(r3_model, pjob).price
+        assert parallel_speedup_condition(r3_model, price, pjob)
+
+    def test_huge_overhead_defeats_splitting(self, r3_model):
+        # At the floor bid F = floor mass, so the §6.1 bound is
+        # (M−1)·t_k/(1−F) — a fraction of an hour; a 100 h overhead fails.
+        job = ParallelJobSpec(
+            execution_time=8.0, num_instances=2,
+            overhead_time=100.0, recovery_time=seconds(30),
+        )
+        assert not parallel_speedup_condition(r3_model, r3_model.lower, job)
+
+
+class TestRequiredMasterTime:
+    def test_without_slack_is_slave_completion(self, r3_model, pjob):
+        price = optimal_parallel_bid(r3_model, pjob).price
+        assert math.isclose(
+            required_master_time(r3_model, price, pjob, include_slack=False),
+            costs.parallel_completion_time(r3_model, price, pjob),
+        )
+
+    def test_slack_reduces_requirement(self, r3_model, pjob):
+        price = optimal_parallel_bid(r3_model, pjob).price
+        with_slack = required_master_time(r3_model, price, pjob)
+        without = required_master_time(r3_model, price, pjob, include_slack=False)
+        assert with_slack < without
+
+    def test_requirement_falls_with_m(self, r3_model):
+        values = []
+        for m in (1, 2, 4, 8):
+            job = ParallelJobSpec(
+                execution_time=8.0, num_instances=m,
+                overhead_time=seconds(60), recovery_time=seconds(30),
+            )
+            price = optimal_parallel_bid(r3_model, job).price
+            values.append(required_master_time(r3_model, price, job))
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestPlanMasterSlave:
+    def test_plan_structure(self, r3_model, mrjob):
+        plan = plan_master_slave(r3_model, r3_model, mrjob)
+        assert plan.master_bid.kind is BidKind.ONE_TIME
+        assert plan.slave_bid.kind is BidKind.PERSISTENT
+        assert plan.min_slaves >= 1
+        assert plan.total_expected_cost > 0
+
+    def test_min_slaves_paper_scale(self, r3_model, mrjob):
+        # "In practice, this minimum number of nodes ... can be as low
+        # as 3 or 4" (§6.2).
+        plan = plan_master_slave(r3_model, r3_model, mrjob)
+        assert 1 <= plan.min_slaves <= 8
+
+    def test_master_bid_covers_slave_completion(self, r3_model, mrjob):
+        plan = plan_master_slave(r3_model, r3_model, mrjob)
+        capability = costs.expected_uninterrupted_time(
+            r3_model, plan.master_bid.price, mrjob.slot_length
+        )
+        assert capability >= plan.required_master_time
+
+    def test_minimum_slaves_consistent(self, r3_model, mrjob):
+        plan = plan_master_slave(r3_model, r3_model, mrjob)
+        m = minimum_slaves(r3_model, r3_model, mrjob, plan.master_bid.price)
+        assert m == plan.min_slaves
+
+    def test_different_master_and_slave_markets(self, r3_model, mrjob):
+        from repro.traces.generator import market_model_for
+
+        master_model = market_model_for("m3.xlarge")
+        plan = plan_master_slave(
+            master_model, r3_model, mrjob,
+            master_ondemand=0.28, slave_ondemand=0.35,
+        )
+        assert plan.master_bid.price < 0.28
+        assert plan.slave_bid.price < 0.35
+
+
+class TestPlanWithOptimalSlaves:
+    def test_returns_feasible_cheapest(self, r3_model, mrjob):
+        best = plan_with_optimal_slaves(r3_model, r3_model, mrjob, max_slaves=10)
+        assert best.job.num_slaves >= best.min_slaves
+        # It must not be beaten by any other feasible plan in range.
+        for m in range(1, 11):
+            try:
+                plan = plan_master_slave(r3_model, r3_model, mrjob.with_slaves(m))
+            except (InfeasibleBidError, PlanError):
+                continue
+            if m >= plan.min_slaves:
+                assert best.total_expected_cost <= plan.total_expected_cost + 1e-9
+
+    def test_raises_when_nothing_feasible(self, r3_model):
+        # Recovery exceeds the work even at M = 1: no effective work at
+        # any slave count, so no plan exists.
+        job = MapReduceJobSpec(
+            execution_time=0.015, num_slaves=2, recovery_time=0.02
+        )
+        with pytest.raises((PlanError, InfeasibleBidError)):
+            plan_with_optimal_slaves(r3_model, r3_model, job, max_slaves=4)

@@ -1,0 +1,197 @@
+"""Monte-Carlo validation of the analytic optima.
+
+The paper's central claims are *optimality* claims: Prop. 4/5 bids
+minimize expected cost.  These tests verify that end to end, with no
+shared math between the two sides: a brute-force grid of bid prices is
+simulated on the market (hundreds of i.i.d. futures per bid — the regime
+the propositions assume), realized mean costs are measured, and the
+analytic optimum must be statistically indistinguishable from the
+empirical best.  The simulations use the fast path, which the
+equivalence suite (tests/test_fastpath.py) pins to the full engine.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_SLOT_HOURS, seconds
+from repro.core.onetime import optimal_onetime_bid
+from repro.core.persistent import optimal_persistent_bid
+from repro.core.types import JobSpec
+from repro.market.fastpath import fast_onetime_outcome, fast_persistent_outcome
+from repro.traces.generator import market_model_for
+
+RUNS_PER_BID = 400
+MAX_SLOTS = 800
+ONDEMAND = 0.35
+
+
+def mc_persistent_cost(model, bid, job, rng, runs=RUNS_PER_BID):
+    """Mean realized cost over `runs` i.i.d. persistent simulations.
+
+    Unfinished runs (trace exhausted) are charged the on-demand fallback.
+    """
+    total = 0.0
+    for _ in range(runs):
+        prices = model.sample(MAX_SLOTS, rng)
+        outcome = fast_persistent_outcome(
+            prices, bid, job.execution_time, job.recovery_time, job.slot_length
+        )
+        cost = outcome.cost
+        if not outcome.completed:
+            cost += ONDEMAND * job.execution_time
+        total += cost
+    return total / runs
+
+
+def mc_onetime(model, bid, job, rng, runs=RUNS_PER_BID):
+    """(mean conditional cost, completion fraction, mean fallback cost)."""
+    conditional, fallback, completed = [], [], 0
+    for _ in range(runs):
+        prices = model.sample(MAX_SLOTS, rng)
+        outcome = fast_onetime_outcome(
+            prices, bid, job.execution_time, job.slot_length
+        )
+        if outcome.completed:
+            completed += 1
+            conditional.append(outcome.cost)
+            fallback.append(outcome.cost)
+        else:
+            fallback.append(outcome.cost + ONDEMAND * job.execution_time)
+    return (
+        float(np.mean(conditional)) if conditional else math.inf,
+        completed / runs,
+        float(np.mean(fallback)),
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return market_model_for("r3.xlarge")
+
+
+class TestPersistentOptimality:
+    def test_prop5_bid_beats_brute_force_grid(self, model):
+        rng = np.random.default_rng(2015)
+        job = JobSpec(
+            execution_time=0.5, recovery_time=seconds(60),
+            slot_length=DEFAULT_SLOT_HOURS,
+        )
+        analytic = optimal_persistent_bid(model, job)
+
+        grid = sorted(
+            {model.lower}
+            | {model.ppf(q) for q in (0.78, 0.84, 0.90, 0.94, 0.97, 0.995)}
+        )
+        empirical = {
+            bid: mc_persistent_cost(model, bid, job, rng) for bid in grid
+        }
+        analytic_cost = mc_persistent_cost(model, analytic.price, job, rng)
+        best_grid_cost = min(empirical.values())
+        # Within Monte-Carlo noise of the best grid point (3% at 400 runs).
+        assert analytic_cost <= best_grid_cost * 1.03
+
+    def test_model_predicts_simulated_cost(self, model):
+        # Expected-cost formula vs realized mean on the i.i.d. market.
+        rng = np.random.default_rng(77)
+        job = JobSpec(
+            execution_time=0.5, recovery_time=seconds(60),
+            slot_length=DEFAULT_SLOT_HOURS,
+        )
+        decision = optimal_persistent_bid(model, job)
+        realized = mc_persistent_cost(model, decision.price, job, rng, runs=800)
+        assert abs(realized - decision.expected_cost) / decision.expected_cost < 0.04
+
+    def test_completion_time_formula_matches(self, model):
+        # Eq. 13's completion time T = running/F(p) vs realized mean.
+        rng = np.random.default_rng(78)
+        job = JobSpec(
+            execution_time=0.5, recovery_time=seconds(60),
+            slot_length=DEFAULT_SLOT_HOURS,
+        )
+        decision = optimal_persistent_bid(model, job)
+        times = []
+        for _ in range(800):
+            prices = model.sample(MAX_SLOTS, rng)
+            outcome = fast_persistent_outcome(
+                prices, decision.price, job.execution_time,
+                job.recovery_time, job.slot_length,
+            )
+            if outcome.completed:
+                times.append(outcome.completion_time)
+        realized = float(np.mean(times))
+        # Discrete slots quantize the analytic expectation; allow a slot.
+        assert abs(realized - decision.expected_completion_time) < (
+            0.1 * decision.expected_completion_time + job.slot_length
+        )
+
+
+class TestOnetimeOptimality:
+    def test_prop4_optimal_for_the_papers_objective(self, model):
+        """Prop. 4 minimizes cost *conditional on completion* among bids
+        meeting the eq. 8 constraint — the paper's actual objective
+        (eq. 10 conditions on the job not being terminated)."""
+        rng = np.random.default_rng(2016)
+        job = JobSpec(execution_time=0.5, slot_length=DEFAULT_SLOT_HOURS)
+        analytic = optimal_onetime_bid(model, job, ondemand_price=ONDEMAND)
+        constraint_quantile = 1.0 - job.slot_length / job.execution_time
+
+        grid = sorted(
+            {model.lower}
+            | {model.ppf(q) for q in (0.80, 0.86, 0.90, 0.95, 0.99)}
+        )
+        analytic_cost, analytic_done, _ = mc_onetime(
+            model, analytic.price, job, rng
+        )
+        for bid in grid:
+            if model.cdf(bid) < constraint_quantile:
+                continue  # infeasible under eq. 8's constraint
+            cost, _done, _fb = mc_onetime(model, bid, job, rng)
+            # Conditional cost rises with the bid, so the cheapest
+            # feasible bid — Prop. 4's — is best, up to MC noise.
+            assert analytic_cost <= cost * 1.03
+        assert analytic_done > 0.2  # enough completions to measure
+
+    def test_failure_priced_objective_prefers_higher_bids(self, model):
+        """The documented limitation: once failures are *priced* (wasted
+        spend + on-demand rerun) under i.i.d. prices, bids above Prop. 4's
+        strictly improve — the paper's zero observed interruptions relied
+        on real prices being sticky, not i.i.d. (cf. the renewal trace
+        generator and EXPERIMENTS.md)."""
+        rng = np.random.default_rng(3)
+        job = JobSpec(execution_time=0.5, slot_length=DEFAULT_SLOT_HOURS)
+        analytic = optimal_onetime_bid(model, job, ondemand_price=ONDEMAND)
+        _c, _d, at_analytic = mc_onetime(model, analytic.price, job, rng)
+        _c, _d, higher = mc_onetime(model, model.ppf(0.99), job, rng)
+        assert higher < at_analytic
+
+    def test_low_bids_fail_expensively(self, model):
+        # Sanity on the trade-off: bidding the floor for a multi-slot
+        # one-time job triggers frequent failures whose fallback dwarfs
+        # the spot savings.
+        rng = np.random.default_rng(4)
+        job = JobSpec(execution_time=0.5, slot_length=DEFAULT_SLOT_HOURS)
+        _c, _d, floor_cost = mc_onetime(model, model.lower, job, rng)
+        good = optimal_onetime_bid(model, job, ondemand_price=ONDEMAND)
+        _c, _d, good_cost = mc_onetime(model, good.price, job, rng)
+        assert floor_cost > good_cost
+
+    def test_eq8_expected_run_length(self, model):
+        """Eq. 8's expected uninterrupted run t_k/(1−F) vs simulation."""
+        rng = np.random.default_rng(5)
+        bid = model.ppf(0.85)
+        accept = model.cdf(bid)
+        expected = DEFAULT_SLOT_HOURS / (1.0 - accept)
+        lengths = []
+        for _ in range(1500):
+            prices = model.sample(400, rng)
+            accepted = prices <= bid
+            idx = np.flatnonzero(~accepted)
+            # Run length from slot 0 given slot 0 accepted.
+            if not accepted[0]:
+                continue
+            run = int(idx[0]) if idx.size else 400
+            lengths.append(run * DEFAULT_SLOT_HOURS)
+        realized = float(np.mean(lengths))
+        assert abs(realized - expected) / expected < 0.1

@@ -1,0 +1,63 @@
+"""MapReduce workload models."""
+
+import math
+
+import pytest
+
+from repro.errors import PlanError
+from repro.mapreduce.job import MapReduceWorkload, WordCountWorkload
+
+
+class TestMapReduceWorkload:
+    def test_execution_time_sums_phases(self):
+        w = MapReduceWorkload(map_hours=10.0, reduce_hours=2.0)
+        assert math.isclose(w.execution_time, 12.0)
+
+    def test_to_job_spec(self):
+        w = MapReduceWorkload(
+            map_hours=10.0, reduce_hours=2.0,
+            split_overhead=0.02, recovery_time=0.01,
+        )
+        job = w.to_job_spec(num_slaves=4)
+        assert job.execution_time == 12.0
+        assert job.num_slaves == 4
+        assert job.overhead_time == 0.02
+        assert job.recovery_time == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(map_hours=0.0), dict(map_hours=1.0, reduce_hours=-1.0),
+         dict(map_hours=1.0, split_overhead=-0.1)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PlanError):
+            MapReduceWorkload(**kwargs)
+
+
+class TestWordCount:
+    def test_physical_parameterization(self):
+        wc = WordCountWorkload(corpus_gib=130.0, throughput_gib_per_hour=13.0)
+        w = wc.to_workload()
+        assert math.isclose(w.map_hours, 10.0)
+        assert math.isclose(w.reduce_hours, 0.5)  # 5% of map by default
+
+    def test_paper_defaults(self):
+        wc = WordCountWorkload(corpus_gib=100.0, throughput_gib_per_hour=10.0)
+        assert math.isclose(wc.split_overhead, 60.0 / 3600.0)  # t_o = 60 s
+        assert math.isclose(wc.recovery_time, 30.0 / 3600.0)  # t_r = 30 s
+
+    def test_to_job_spec_shortcut(self):
+        wc = WordCountWorkload(corpus_gib=100.0, throughput_gib_per_hour=10.0)
+        job = wc.to_job_spec(num_slaves=5)
+        assert job.num_slaves == 5
+        assert math.isclose(job.execution_time, 10.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(corpus_gib=0.0, throughput_gib_per_hour=1.0),
+         dict(corpus_gib=1.0, throughput_gib_per_hour=0.0),
+         dict(corpus_gib=1.0, throughput_gib_per_hour=1.0, reduce_fraction=1.0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PlanError):
+            WordCountWorkload(**kwargs)

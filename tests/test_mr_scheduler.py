@@ -1,0 +1,86 @@
+"""Master-side task tracking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.types import BidKind, MapReduceJobSpec
+from repro.errors import PlanError
+from repro.mapreduce.scheduler import MapReduceScheduler
+from repro.market.price_sources import TracePriceSource
+from repro.market.simulator import SpotMarket
+from repro.traces.history import SpotPriceHistory
+
+
+@pytest.fixture
+def job():
+    return MapReduceJobSpec(execution_time=1.0, num_slaves=3, overhead_time=0.1)
+
+
+@pytest.fixture
+def scheduler(job):
+    return MapReduceScheduler(job=job)
+
+
+def flat_market(price=0.03, slots=500):
+    return SpotMarket(TracePriceSource(SpotPriceHistory(prices=np.full(slots, price))))
+
+
+class TestSubJobs:
+    def test_work_split_equally(self, scheduler, job):
+        works = [sj.work for sj in scheduler.sub_jobs]
+        assert len(works) == 3
+        assert all(math.isclose(w, (1.0 + 0.1) / 3) for w in works)
+
+    def test_attach_slave_once(self, scheduler):
+        scheduler.attach_slave(0, 11)
+        with pytest.raises(PlanError):
+            scheduler.attach_slave(0, 12)
+        with pytest.raises(PlanError):
+            scheduler.attach_slave(9, 13)
+
+
+class TestCompletion:
+    def test_slaves_done_tracks_market(self, scheduler):
+        market = flat_market()
+        for sub in scheduler.sub_jobs:
+            rid = market.submit(
+                bid_price=0.05, work=sub.work, kind=BidKind.PERSISTENT
+            )
+            scheduler.attach_slave(sub.index, rid)
+        assert not scheduler.slaves_done(market)
+        market.run_until_done()
+        assert scheduler.slaves_done(market)
+        states = scheduler.slave_states(market)
+        assert len(states) == 3
+
+    def test_not_done_before_attachment(self, scheduler):
+        market = flat_market()
+        assert not scheduler.slaves_done(market)
+
+
+class TestMasterTracking:
+    def test_attempts_and_restarts(self, scheduler):
+        market = flat_market()
+        rid1 = market.submit(bid_price=0.05, work=math.inf, kind=BidKind.ONE_TIME)
+        scheduler.attach_master(rid1)
+        assert scheduler.master_restarts == 0
+        assert scheduler.master_running_or_pending(market)
+        rid2 = market.submit(bid_price=0.05, work=math.inf, kind=BidKind.ONE_TIME)
+        scheduler.attach_master(rid2)
+        assert scheduler.master_restarts == 1
+        assert scheduler.master_attempts == [rid1, rid2]
+
+    def test_master_failed_detection(self, scheduler):
+        prices = np.concatenate([np.full(2, 0.03), np.full(5, 0.9)])
+        market = SpotMarket(TracePriceSource(SpotPriceHistory(prices=prices)))
+        rid = market.submit(bid_price=0.05, work=math.inf, kind=BidKind.ONE_TIME)
+        scheduler.attach_master(rid)
+        for _ in range(4):
+            market.step()
+        assert scheduler.master_failed(market)
+        assert not scheduler.master_running_or_pending(market)
+
+    def test_no_master_is_not_failed(self, scheduler):
+        assert not scheduler.master_failed(flat_market())

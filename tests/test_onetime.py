@@ -1,0 +1,113 @@
+"""Prop. 4: optimal one-time bids."""
+
+import math
+
+import pytest
+
+from repro.constants import DEFAULT_SLOT_HOURS
+from repro.core.onetime import onetime_target_quantile, optimal_onetime_bid
+from repro.core.types import BidKind, JobSpec
+from repro.errors import InfeasibleBidError
+
+
+class TestTargetQuantile:
+    def test_one_hour_job(self):
+        job = JobSpec(execution_time=1.0)
+        assert math.isclose(onetime_target_quantile(job), 1.0 - 1.0 / 12.0)
+
+    def test_short_job_clamps_to_zero(self):
+        job = JobSpec(execution_time=DEFAULT_SLOT_HOURS / 2)
+        assert onetime_target_quantile(job) == 0.0
+
+    def test_longer_jobs_need_higher_quantiles(self):
+        q1 = onetime_target_quantile(JobSpec(execution_time=1.0))
+        q4 = onetime_target_quantile(JobSpec(execution_time=4.0))
+        assert q4 > q1
+
+
+class TestOptimalBid:
+    def test_eq11_percentile(self, uniform_dist):
+        job = JobSpec(execution_time=1.0)
+        decision = optimal_onetime_bid(uniform_dist, job)
+        assert decision.kind is BidKind.ONE_TIME
+        assert math.isclose(decision.price, uniform_dist.ppf(11.0 / 12.0))
+
+    def test_short_job_bids_at_the_floor(self, uniform_dist):
+        # Continuous support: the floor itself has zero acceptance, so
+        # the optimizer takes the ε-optimal bid just above it.
+        job = JobSpec(execution_time=DEFAULT_SLOT_HOURS / 2)
+        decision = optimal_onetime_bid(uniform_dist, job)
+        assert math.isclose(decision.price, uniform_dist.lower, rel_tol=1e-4)
+        assert uniform_dist.cdf(decision.price) > 0.0
+
+    def test_short_job_bids_floor_exactly_on_atom(self, empirical_dist):
+        job = JobSpec(execution_time=DEFAULT_SLOT_HOURS / 2)
+        decision = optimal_onetime_bid(empirical_dist, job)
+        assert decision.price == empirical_dist.lower
+
+    def test_bid_monotone_in_execution_time(self, empirical_dist):
+        bids = [
+            optimal_onetime_bid(empirical_dist, JobSpec(execution_time=ts)).price
+            for ts in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(bids, bids[1:]))
+
+    def test_expected_cost_uses_conditional_mean(self, uniform_dist):
+        job = JobSpec(execution_time=2.0)
+        decision = optimal_onetime_bid(uniform_dist, job)
+        conditional = uniform_dist.conditional_mean_below(decision.price)
+        assert math.isclose(decision.expected_cost, 2.0 * conditional)
+
+    def test_completion_includes_geometric_wait(self, uniform_dist):
+        job = JobSpec(execution_time=1.0)
+        decision = optimal_onetime_bid(uniform_dist, job)
+        accept = uniform_dist.cdf(decision.price)
+        wait = DEFAULT_SLOT_HOURS * (1.0 / accept - 1.0)
+        assert math.isclose(decision.expected_completion_time, wait + 1.0)
+
+    def test_no_interruptions_predicted(self, uniform_dist):
+        decision = optimal_onetime_bid(uniform_dist, JobSpec(execution_time=1.0))
+        assert decision.expected_interruptions == 0.0
+
+    def test_recovery_time_is_irrelevant(self, empirical_dist):
+        a = optimal_onetime_bid(empirical_dist, JobSpec(1.0, recovery_time=0.0))
+        b = optimal_onetime_bid(empirical_dist, JobSpec(1.0, recovery_time=0.01))
+        assert a.price == b.price
+
+    def test_infeasible_when_bid_exceeds_ondemand(self, uniform_dist):
+        # On-demand priced below the required percentile of spot prices.
+        job = JobSpec(execution_time=10.0)
+        with pytest.raises(InfeasibleBidError):
+            optimal_onetime_bid(uniform_dist, job, ondemand_price=0.05)
+
+    def test_cost_ceiling_never_binds_when_bid_is_admissible(self, uniform_dist):
+        # Φ_so(p) = t_s·E[π|π<=p] <= t_s·p <= t_s·π̄ whenever p <= π̄, so
+        # the first constraint of eq. 10 holds automatically at any
+        # admissible bid — the optimizer must accept this boundary case.
+        job = JobSpec(execution_time=1.0)
+        decision = optimal_onetime_bid(uniform_dist, job, ondemand_price=0.094)
+        assert decision.expected_cost <= 0.094 * job.execution_time
+
+    def test_feasible_with_generous_ondemand(self, uniform_dist):
+        job = JobSpec(execution_time=1.0)
+        decision = optimal_onetime_bid(uniform_dist, job, ondemand_price=0.35)
+        assert decision.expected_cost < 0.35
+
+
+class TestAgainstCatalogModel:
+    def test_r3_bid_lands_in_the_tail(self, r3_model):
+        decision = optimal_onetime_bid(
+            r3_model, JobSpec(execution_time=1.0), ondemand_price=0.35
+        )
+        # Above the floor atom (91.7th percentile), below half on-demand.
+        assert r3_model.lower < decision.price < 0.35 / 2
+        assert math.isclose(
+            r3_model.cdf(decision.price), 11.0 / 12.0, abs_tol=1e-6
+        )
+
+    def test_savings_are_paper_scale(self, r3_model):
+        decision = optimal_onetime_bid(
+            r3_model, JobSpec(execution_time=1.0), ondemand_price=0.35
+        )
+        savings = 1.0 - decision.expected_cost / 0.35
+        assert savings > 0.85

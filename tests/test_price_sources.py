@@ -1,0 +1,109 @@
+"""Price sources feeding the market simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketError
+from repro.market.price_sources import (
+    IIDPriceSource,
+    ProviderPriceSource,
+    TracePriceSource,
+)
+from repro.provider.arrivals import ParetoArrivals
+from repro.provider.queue import ProviderSimulation
+from repro.traces.history import SpotPriceHistory
+
+
+class TestTraceSource:
+    def test_replays_in_order(self):
+        history = SpotPriceHistory(prices=np.asarray([0.1, 0.2, 0.3]))
+        source = TracePriceSource(history)
+        assert [source.next_price() for _ in range(3)] == [0.1, 0.2, 0.3]
+
+    def test_remaining_and_exhaustion(self):
+        history = SpotPriceHistory(prices=np.asarray([0.1, 0.2]))
+        source = TracePriceSource(history)
+        assert source.remaining_slots() == 2
+        source.next_price()
+        source.next_price()
+        assert source.remaining_slots() == 0
+        with pytest.raises(MarketError):
+            source.next_price()
+
+    def test_start_slot_offsets(self):
+        history = SpotPriceHistory(prices=np.asarray([0.1, 0.2, 0.3]))
+        source = TracePriceSource(history, start_slot=1)
+        assert source.next_price() == 0.2
+
+    def test_invalid_start_slot(self):
+        history = SpotPriceHistory(prices=np.asarray([0.1]))
+        with pytest.raises(MarketError):
+            TracePriceSource(history, start_slot=5)
+
+
+class TestIIDSource:
+    def test_draws_from_distribution(self, r3_model, rng):
+        source = IIDPriceSource(r3_model, rng)
+        draws = [source.next_price() for _ in range(500)]
+        assert min(draws) >= r3_model.lower
+        assert max(draws) <= r3_model.upper
+        assert source.remaining_slots() is None
+
+
+class TestProviderSource:
+    def test_prices_stay_in_band(self, rng):
+        sim = ProviderSimulation(
+            arrivals=ParetoArrivals(alpha=3.0, minimum=0.02),
+            beta=0.35, theta=0.02, pi_bar=0.35, pi_min=0.03,
+        )
+        source = ProviderPriceSource(sim, rng)
+        draws = [source.next_price() for _ in range(200)]
+        assert min(draws) >= 0.03
+        assert max(draws) <= 0.35
+
+
+class TestEndogenousSource:
+    def _build(self, weight, seed=11):
+        from repro.core.types import BidKind
+        from repro.market.price_sources import EndogenousPriceSource
+        from repro.market.simulator import SpotMarket
+
+        sim = ProviderSimulation(
+            arrivals=ParetoArrivals(alpha=3.0, minimum=0.05),
+            beta=0.35, theta=0.05, pi_bar=0.35, pi_min=0.03,
+        )
+        source = EndogenousPriceSource(
+            sim, np.random.default_rng(seed), demand_weight=weight
+        )
+        market = SpotMarket(source)
+        source.attach(market)
+        market.submit(bid_price=0.05, work=100.0, kind=BidKind.PERSISTENT)
+        prices = []
+        for _ in range(400):
+            prices.append(market.step())
+        return np.asarray(prices)
+
+    def test_single_user_does_not_move_the_price(self):
+        # The §8 assumption the paper verified on EC2: one marginal user
+        # leaves the price trajectory essentially unchanged.
+        baseline = self._build(weight=0.0)
+        with_user = self._build(weight=1.0)
+        assert abs(with_user.mean() - baseline.mean()) / baseline.mean() < 0.02
+
+    def test_heavy_demand_weight_raises_prices(self):
+        baseline = self._build(weight=0.0)
+        whale = self._build(weight=50.0)
+        assert whale.mean() > baseline.mean()
+
+    def test_negative_weight_rejected(self):
+        from repro.market.price_sources import EndogenousPriceSource
+        from repro.errors import MarketError
+
+        sim = ProviderSimulation(
+            arrivals=ParetoArrivals(alpha=3.0, minimum=0.05),
+            beta=0.35, theta=0.05, pi_bar=0.35, pi_min=0.03,
+        )
+        with pytest.raises(MarketError):
+            EndogenousPriceSource(
+                sim, np.random.default_rng(0), demand_weight=-1.0
+            )

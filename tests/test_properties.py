@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_SLOT_HOURS
+from repro.core import costs
+from repro.core.distributions import (
+    EmpiricalPriceDistribution,
+    TruncatedExponentialPriceDistribution,
+)
+from repro.core.onetime import optimal_onetime_bid
+from repro.core.persistent import optimal_persistent_bid
+from repro.core.types import BidKind, JobSpec
+from repro.errors import InfeasibleBidError
+from repro.market.price_sources import TracePriceSource
+from repro.market.simulator import SpotMarket
+from repro.traces.history import SpotPriceHistory
+
+# Bounded, positive price samples — enough to build a meaningful ECDF.
+price_arrays = st.lists(
+    st.floats(min_value=0.001, max_value=2.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=120,
+)
+
+
+class TestEmpiricalDistributionInvariants:
+    @given(prices=price_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_cdf_monotone_and_bounded(self, prices):
+        dist = EmpiricalPriceDistribution(prices)
+        grid = np.linspace(dist.lower - 0.1, dist.upper + 0.1, 25)
+        values = [dist.cdf(float(p)) for p in grid]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert all(a <= b + 1e-15 for a, b in zip(values, values[1:]))
+
+    @given(prices=price_arrays, q=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=80, deadline=None)
+    def test_ppf_is_generalized_inverse(self, prices, q):
+        dist = EmpiricalPriceDistribution(prices)
+        p = dist.ppf(q)
+        assert dist.cdf(p) >= q - 1e-12
+        # No strictly smaller observation reaches the quantile.
+        smaller = [x for x in dist.candidate_bids() if x < p]
+        if smaller:
+            assert dist.cdf(max(smaller)) < q
+
+    @given(prices=price_arrays, bid=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_partial_expectation_identities(self, prices, bid):
+        dist = EmpiricalPriceDistribution(prices)
+        s = dist.partial_expectation(bid)
+        f = dist.cdf(bid)
+        assert 0.0 <= s <= dist.mean() + 1e-15
+        # S(p) = p·F(p) − P(p) with P >= 0 (prices are non-negative).
+        shortfall = dist.expected_shortfall(bid)
+        assert shortfall >= -1e-15
+        assert math.isclose(s, bid * f - shortfall, abs_tol=1e-12)
+
+    @given(prices=price_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_conditional_mean_within_support(self, prices):
+        dist = EmpiricalPriceDistribution(prices)
+        mean = dist.conditional_mean_below(dist.upper)
+        assert dist.lower - 1e-12 <= mean <= dist.upper + 1e-12
+
+
+class TestBidOptimizers:
+    @given(
+        prices=price_arrays,
+        hours=st.floats(min_value=0.1, max_value=24.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_onetime_bid_achieves_target_quantile(self, prices, hours):
+        dist = EmpiricalPriceDistribution(prices)
+        job = JobSpec(execution_time=hours)
+        decision = optimal_onetime_bid(dist, job)
+        target = max(0.0, 1.0 - job.slot_length / hours)
+        assert dist.cdf(decision.price) >= target - 1e-12
+        assert dist.lower <= decision.price <= dist.upper
+
+    @given(
+        prices=price_arrays,
+        tr_seconds=st.floats(min_value=1.0, max_value=280.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_persistent_bid_is_global_candidate_minimum(self, prices, tr_seconds):
+        dist = EmpiricalPriceDistribution(prices)
+        job = JobSpec(execution_time=5.0, recovery_time=tr_seconds / 3600.0)
+        try:
+            decision = optimal_persistent_bid(dist, job)
+        except InfeasibleBidError:
+            return
+        for p in dist.candidate_bids():
+            candidate_cost = costs.persistent_cost(dist, float(p), job)
+            assert decision.expected_cost <= candidate_cost + 1e-9
+
+    @given(scale=st.floats(min_value=0.005, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_psi_decreasing_for_decreasing_pdf(self, scale):
+        dist = TruncatedExponentialPriceDistribution(0.03, 0.3, scale)
+        grid = np.linspace(0.035, 0.29, 20)
+        values = [costs.psi(dist, float(p)) for p in grid]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestMarketConservation:
+    @given(
+        prices=st.lists(
+            st.floats(min_value=0.01, max_value=0.2,
+                      allow_nan=False, allow_infinity=False),
+            min_size=20, max_size=80,
+        ),
+        bid=st.floats(min_value=0.01, max_value=0.25),
+        work_slots=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_and_money_accounting(self, prices, bid, work_slots):
+        work = work_slots * DEFAULT_SLOT_HOURS * 0.9
+        history = SpotPriceHistory(prices=np.asarray(prices))
+        market = SpotMarket(TracePriceSource(history))
+        rid = market.submit(bid_price=bid, work=work, kind=BidKind.PERSISTENT)
+        for _ in range(len(prices)):
+            market.step()
+            if not market.has_active_requests():
+                break
+        outcome = market.outcome(rid)
+        horizon = market.slot * DEFAULT_SLOT_HOURS
+        # Time conservation: running + idle never exceeds the horizon.
+        assert outcome.running_time + outcome.idle_time <= horizon + 1e-9
+        # Money conservation: never charged above the bid per hour.
+        assert outcome.cost <= bid * outcome.running_time + 1e-12
+        # Work conservation: completion implies exactly `work` plus
+        # recoveries (zero here) of running time.
+        if outcome.completed:
+            assert math.isclose(outcome.running_time, work, rel_tol=1e-9)
+
+    @given(
+        floor=st.floats(min_value=0.01, max_value=0.05),
+        q=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_renewal_marginal_floor_mass(self, floor, q):
+        # The renewal generator's stationary floor occupancy matches the
+        # requested atom for arbitrary parameters.
+        from repro.provider.equilibrium import pareto_model_with_atom
+        from repro.traces.generator import generate_renewal_history
+        from repro.traces.catalog import InstanceType, MarketModelParams
+
+        itype = InstanceType(
+            name="test.large", vcpus=1, memory_gib=1.0, storage="1x10",
+            on_demand_price=floor / 0.09,
+            market=MarketModelParams(
+                beta=floor / 0.09, theta=0.02, alpha=3.0, eta=1e-4,
+                pi_min=floor, floor_mass=q,
+            ),
+        )
+        rng = np.random.default_rng(99)
+        history = generate_renewal_history(
+            itype, days=60, rng=rng,
+            floor_episode_hours=4.0, tail_episode_hours=1.0,
+        )
+        frac = float(np.mean(history.prices <= floor + 1e-12))
+        assert abs(frac - q) < 0.12
+
+
+class TestBillingProperties:
+    @given(
+        price=st.floats(min_value=0.01, max_value=0.2,
+                        allow_nan=False, allow_infinity=False),
+        work_slots=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hourly_rounds_up_whole_hours_at_constant_price(self, price, work_slots):
+        # At a constant price, EC2's whole-hour rounding charges exactly
+        # ceil(hours)·price for a user-terminated run — never less than
+        # the paper's per-slot accounting.  (With *varying* prices hourly
+        # can undercut per-slot, because the whole hour is billed at its
+        # opening price; hypothesis found that counter-example, and the
+        # ablation reports the realized premium instead of asserting one.)
+        from repro.market.billing import HourlyBilling
+
+        work = work_slots * DEFAULT_SLOT_HOURS * 0.95
+        prices = np.full(work_slots + 40, price)
+        history = SpotPriceHistory(prices=prices)
+        outcomes = {}
+        for factory in (None, HourlyBilling):
+            kwargs = {} if factory is None else {"billing_factory": factory}
+            market = SpotMarket(TracePriceSource(history), **kwargs)
+            rid = market.submit(bid_price=1.0, work=work, kind=BidKind.PERSISTENT)
+            for _ in range(len(prices)):
+                market.step()
+                if not market.has_active_requests():
+                    break
+            outcomes[factory] = market.outcome(rid)
+        per_slot, hourly = outcomes[None], outcomes[HourlyBilling]
+        assert per_slot.completed and hourly.completed
+        assert math.isclose(
+            hourly.cost, math.ceil(hourly.running_time - 1e-9) * price,
+            rel_tol=1e-9,
+        )
+        assert hourly.cost >= per_slot.cost - 1e-12
+
+    @given(
+        recovery_slots=st.floats(min_value=0.0, max_value=0.9),
+        outage_start=st.integers(min_value=1, max_value=5),
+        outage_len=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation_with_recovery(
+        self, recovery_slots, outage_start, outage_len
+    ):
+        # Completed persistent runs spend exactly work + k·t_r running.
+        work = 8 * DEFAULT_SLOT_HOURS
+        recovery = recovery_slots * DEFAULT_SLOT_HOURS
+        prices = (
+            [0.03] * outage_start + [0.9] * outage_len + [0.03] * 60
+        )
+        history = SpotPriceHistory(prices=np.asarray(prices))
+        market = SpotMarket(TracePriceSource(history))
+        rid = market.submit(
+            bid_price=0.05, work=work, kind=BidKind.PERSISTENT,
+            recovery_time=recovery,
+        )
+        for _ in range(len(prices)):
+            market.step()
+            if not market.has_active_requests():
+                break
+        outcome = market.outcome(rid)
+        assert outcome.completed
+        assert outcome.interruptions == 1
+        assert math.isclose(
+            outcome.running_time, work + outcome.interruptions * recovery,
+            rel_tol=1e-9,
+        )
+        assert math.isclose(
+            outcome.idle_time, outage_len * DEFAULT_SLOT_HOURS, rel_tol=1e-9
+        )
+
+
+class TestEquilibriumModelProperties:
+    @given(
+        alpha=st.floats(min_value=2.2, max_value=6.0),
+        q=st.floats(min_value=0.0, max_value=0.9),
+        beta_ratio=st.floats(min_value=0.9, max_value=1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_partial_expectation_consistency(self, alpha, q, beta_ratio):
+        from repro.provider.equilibrium import pareto_model_with_atom
+
+        pi_bar = 0.35
+        model = pareto_model_with_atom(
+            beta=beta_ratio * pi_bar, theta=0.02, alpha=alpha,
+            pi_bar=pi_bar, pi_min=0.0315, floor_mass=q,
+        )
+        grid = np.linspace(model.lower, model.upper * 0.999, 9)
+        prev_cdf, prev_pe = -1.0, -1.0
+        for p in grid:
+            c, pe = model.cdf(float(p)), model.partial_expectation(float(p))
+            assert 0.0 <= c <= 1.0
+            assert c >= prev_cdf - 1e-12
+            assert pe >= prev_pe - 1e-12
+            # S(p) <= p·F(p): the conditional mean can't exceed the bid.
+            assert pe <= p * c + 1e-12
+            prev_cdf, prev_pe = c, pe

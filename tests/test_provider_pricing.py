@@ -1,0 +1,135 @@
+"""Provider price optimization (eqs. 1–3)."""
+
+import math
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.provider.pricing import (
+    accepted_bids,
+    capacity_constrained_price,
+    max_beta_for_interior_price,
+    optimal_spot_price,
+    optimal_spot_price_numeric,
+    revenue_objective,
+    stationarity_residual,
+    validate_price_band,
+)
+
+PI_BAR, PI_MIN = 0.35, 0.03
+
+
+class TestAcceptedBids:
+    def test_uniform_fraction(self):
+        # Price at the midpoint of the band accepts half the bids.
+        mid = 0.5 * (PI_BAR + PI_MIN)
+        assert math.isclose(accepted_bids(100.0, mid, PI_BAR, PI_MIN), 50.0)
+
+    def test_clamped_to_band(self):
+        assert accepted_bids(100.0, PI_BAR, PI_BAR, PI_MIN) == 0.0
+        assert accepted_bids(100.0, 0.0, PI_BAR, PI_MIN) == 100.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            accepted_bids(-1.0, 0.1, PI_BAR, PI_MIN)
+
+
+class TestOptimalPrice:
+    @pytest.mark.parametrize("demand", [0.5, 2.0, 10.0, 100.0, 5000.0])
+    @pytest.mark.parametrize("beta", [0.01, 0.1, 0.5])
+    def test_closed_form_matches_numeric(self, demand, beta):
+        closed = optimal_spot_price(demand, beta, PI_BAR, PI_MIN)
+        numeric = optimal_spot_price_numeric(demand, beta, PI_BAR, PI_MIN)
+        assert math.isclose(closed, numeric, abs_tol=5e-7)
+
+    def test_zero_demand_rests_at_floor(self):
+        assert optimal_spot_price(0.0, 0.1, PI_BAR, PI_MIN) == PI_MIN
+
+    def test_price_increases_with_demand(self):
+        prices = [
+            optimal_spot_price(L, 0.1, PI_BAR, PI_MIN)
+            for L in (1.0, 5.0, 25.0, 125.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(prices, prices[1:]))
+
+    def test_price_decreases_with_beta(self):
+        prices = [
+            optimal_spot_price(50.0, b, PI_BAR, PI_MIN)
+            for b in (0.01, 0.1, 0.5, 2.0)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(prices, prices[1:]))
+
+    def test_heavy_demand_limit_is_half_ondemand(self):
+        price = optimal_spot_price(1e9, 1e-6, PI_BAR, PI_MIN)
+        assert math.isclose(price, PI_BAR / 2.0, rel_tol=1e-3)
+
+    def test_never_leaves_the_band(self):
+        for demand in (0.01, 1.0, 1e6):
+            for beta in (1e-6, 10.0):
+                p = optimal_spot_price(demand, beta, PI_BAR, PI_MIN)
+                assert PI_MIN <= p <= PI_BAR
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_spot_price(1.0, -0.1, PI_BAR, PI_MIN)
+        with pytest.raises(ValueError):
+            optimal_spot_price(-1.0, 0.1, PI_BAR, PI_MIN)
+
+
+class TestStationarity:
+    def test_zero_residual_at_interior_optimum(self):
+        demand, beta = 40.0, 0.2
+        price = optimal_spot_price(demand, beta, PI_BAR, PI_MIN)
+        assert price > PI_MIN  # interior for these parameters
+        assert abs(stationarity_residual(price, demand, beta, PI_BAR, PI_MIN)) < 1e-8
+
+    def test_requires_price_below_half_ondemand(self):
+        with pytest.raises(ValueError):
+            stationarity_residual(0.2, 10.0, 0.1, PI_BAR, PI_MIN)
+
+
+class TestObjectiveAndGuards:
+    def test_objective_value(self):
+        n = accepted_bids(10.0, 0.1, PI_BAR, PI_MIN)
+        expected = 0.3 * math.log1p(n) + 0.1 * n
+        assert math.isclose(
+            revenue_objective(0.1, 10.0, 0.3, PI_BAR, PI_MIN), expected
+        )
+
+    def test_beta_assumption_bound(self):
+        assert math.isclose(
+            max_beta_for_interior_price(9.0, PI_BAR, PI_MIN),
+            10.0 * (PI_BAR - 2 * PI_MIN),
+        )
+
+    @pytest.mark.parametrize(
+        "pi_bar,pi_min", [(0.1, 0.1), (0.1, 0.2), (0.1, -0.01), (math.inf, 0.0)]
+    )
+    def test_band_validation(self, pi_bar, pi_min):
+        with pytest.raises(DistributionError):
+            validate_price_band(pi_bar, pi_min)
+
+
+class TestCapacityConstrainedPrice:
+    def test_unconstrained_below_capacity(self):
+        base = optimal_spot_price(10.0, 0.1, PI_BAR, PI_MIN)
+        assert capacity_constrained_price(10.0, 0.1, PI_BAR, PI_MIN, 50.0) == base
+
+    def test_price_lifts_to_meet_capacity(self):
+        demand, capacity = 100.0, 20.0
+        price = capacity_constrained_price(demand, 0.1, PI_BAR, PI_MIN, capacity)
+        accepted = accepted_bids(demand, price, PI_BAR, PI_MIN)
+        assert accepted <= capacity + 1e-9
+
+    def test_capacity_binding_raises_price(self):
+        loose = capacity_constrained_price(100.0, 0.1, PI_BAR, PI_MIN, 90.0)
+        tight = capacity_constrained_price(100.0, 0.1, PI_BAR, PI_MIN, 10.0)
+        assert tight > loose
+
+    def test_never_exceeds_ondemand(self):
+        price = capacity_constrained_price(1e6, 0.1, PI_BAR, PI_MIN, 1.0)
+        assert price <= PI_BAR
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            capacity_constrained_price(10.0, 0.1, PI_BAR, PI_MIN, 0.0)

@@ -1,0 +1,148 @@
+"""Risk-averse bidding extensions (Section 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import seconds
+from repro.core.persistent import optimal_persistent_bid
+from repro.core.types import JobSpec
+from repro.errors import InfeasibleBidError
+from repro.extensions.risk import (
+    conditional_price_variance,
+    deadline_chance_bid,
+    deadline_miss_probability,
+    variance_bounded_bid,
+)
+
+
+class TestConditionalVariance:
+    def test_matches_numpy_on_empirical(self, empirical_dist):
+        p = 0.04
+        # Compute directly from the raw sorted sample array.
+        raw = empirical_dist._sorted
+        kept = raw[raw <= p]
+        assert math.isclose(
+            conditional_price_variance(empirical_dist, p),
+            float(kept.var()),
+            rel_tol=1e-9,
+        )
+
+    def test_increases_with_bid(self, empirical_dist):
+        grid = [0.032, 0.04, 0.06, 0.1]
+        variances = [
+            conditional_price_variance(empirical_dist, p) for p in grid
+        ]
+        assert all(a <= b + 1e-15 for a, b in zip(variances, variances[1:]))
+
+    def test_quadrature_fallback(self, texp_dist):
+        # Continuous distribution without partial_second_moment.
+        p = 0.08
+        value = conditional_price_variance(texp_dist, p)
+        draws = texp_dist.sample(200000, np.random.default_rng(0))
+        mc = float(draws[draws <= p].var())
+        assert math.isclose(value, mc, rel_tol=0.05)
+
+    def test_never_accepted_rejected(self, texp_dist):
+        with pytest.raises(InfeasibleBidError):
+            conditional_price_variance(texp_dist, 0.0)
+
+
+class TestVarianceBoundedBid:
+    def test_loose_bound_recovers_optimum(self, empirical_dist, hour_job):
+        unconstrained = optimal_persistent_bid(empirical_dist, hour_job)
+        bounded = variance_bounded_bid(
+            empirical_dist, hour_job, max_variance=1.0
+        )
+        assert math.isclose(bounded.price, unconstrained.price)
+
+    def test_tight_bound_lowers_bid(self, empirical_dist, hour_job):
+        unconstrained = optimal_persistent_bid(empirical_dist, hour_job)
+        tight = conditional_price_variance(
+            empirical_dist, unconstrained.price
+        ) / 4.0
+        bounded = variance_bounded_bid(
+            empirical_dist, hour_job, max_variance=tight
+        )
+        assert bounded.price < unconstrained.price
+        assert conditional_price_variance(empirical_dist, bounded.price) <= tight
+
+    def test_negative_bound_rejected(self, empirical_dist, hour_job):
+        with pytest.raises(ValueError):
+            variance_bounded_bid(empirical_dist, hour_job, max_variance=-1.0)
+
+
+class TestDeadlineMissProbability:
+    def test_decreasing_in_bid(self, empirical_dist, hour_job):
+        grid = [0.032, 0.04, 0.08]
+        probs = [
+            deadline_miss_probability(empirical_dist, p, hour_job, deadline=2.0)
+            for p in grid
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_impossible_bid_misses_surely(self, empirical_dist, hour_job):
+        assert deadline_miss_probability(
+            empirical_dist, 0.0, hour_job, deadline=2.0
+        ) == 1.0
+
+    def test_long_deadline_always_met(self, empirical_dist, hour_job):
+        prob = deadline_miss_probability(
+            empirical_dist, 0.05, hour_job, deadline=300.0
+        )
+        assert prob < 1e-6
+
+    def test_invalid_deadline(self, empirical_dist, hour_job):
+        with pytest.raises(ValueError):
+            deadline_miss_probability(empirical_dist, 0.05, hour_job, deadline=0.0)
+
+
+class TestDeadlineChanceBid:
+    def test_tight_deadline_raises_bid(self, empirical_dist):
+        job = JobSpec(1.0, seconds(30))
+        relaxed = deadline_chance_bid(
+            empirical_dist, job, deadline=100.0, miss_probability=0.05
+        )
+        tight = deadline_chance_bid(
+            empirical_dist, job, deadline=1.2, miss_probability=0.05
+        )
+        assert tight.price >= relaxed.price
+
+    def test_constraint_satisfied_at_solution(self, empirical_dist):
+        job = JobSpec(1.0, seconds(30))
+        decision = deadline_chance_bid(
+            empirical_dist, job, deadline=1.5, miss_probability=0.10
+        )
+        assert deadline_miss_probability(
+            empirical_dist, decision.price, job, 1.5
+        ) <= 0.10
+
+    def test_impossible_deadline_infeasible(self, empirical_dist):
+        job = JobSpec(1.0, seconds(30))
+        with pytest.raises(InfeasibleBidError):
+            deadline_chance_bid(
+                empirical_dist, job, deadline=0.5, miss_probability=0.01
+            )
+
+    def test_invalid_probability(self, empirical_dist, hour_job):
+        with pytest.raises(ValueError):
+            deadline_chance_bid(
+                empirical_dist, hour_job, deadline=2.0, miss_probability=0.0
+            )
+
+
+class TestOndemandCeilings:
+    def test_variance_bid_rejected_when_pricier_than_ondemand(self, empirical_dist, hour_job):
+        with pytest.raises(InfeasibleBidError):
+            variance_bounded_bid(
+                empirical_dist, hour_job, max_variance=1.0,
+                ondemand_price=0.001,
+            )
+
+    def test_deadline_bid_rejected_when_pricier_than_ondemand(self, empirical_dist, hour_job):
+        with pytest.raises(InfeasibleBidError):
+            deadline_chance_bid(
+                empirical_dist, hour_job, deadline=10.0,
+                miss_probability=0.2, ondemand_price=0.001,
+            )

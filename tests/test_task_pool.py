@@ -1,0 +1,124 @@
+"""Hadoop-style task-pool scheduling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.mapreduce.tasks import TaskPool, run_task_pool_on_trace
+from repro.traces.history import SpotPriceHistory
+
+TK = 1.0 / 12.0
+
+
+class TestTaskPool:
+    def test_equal_task_sizes(self):
+        pool = TaskPool(total_work=4.0, num_tasks=16)
+        assert math.isclose(pool.task_size, 0.25)
+        assert pool.unfinished_tasks == 16
+        assert not pool.done
+
+    def test_checkout_assigns_distinct_tasks(self):
+        pool = TaskPool(total_work=1.0, num_tasks=3)
+        a = pool.checkout(worker=0)
+        b = pool.checkout(worker=1)
+        c = pool.checkout(worker=2)
+        assert len({a, b, c}) == 3
+        assert pool.checkout(worker=3) is None  # all checked out
+
+    def test_work_consumes_and_returns_surplus(self):
+        pool = TaskPool(total_work=1.0, num_tasks=4)
+        task = pool.checkout(0)
+        surplus = pool.work_on(task, 0.30)
+        assert math.isclose(surplus, 0.05)  # task size 0.25
+        assert pool.unfinished_tasks == 3
+
+    def test_release_restores_full_task(self):
+        pool = TaskPool(total_work=1.0, num_tasks=4)
+        task = pool.checkout(0)
+        pool.work_on(task, 0.10)
+        pool.release(task, lose_progress=True)
+        assert math.isclose(pool._remaining[task], 0.25)
+        # Released task becomes available again.
+        assert pool.checkout(1) == task
+
+    def test_work_on_unknown_task_rejected(self):
+        pool = TaskPool(total_work=1.0, num_tasks=1)
+        task = pool.checkout(0)
+        pool.work_on(task, 1.0)
+        with pytest.raises(PlanError):
+            pool.work_on(task, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            TaskPool(total_work=0.0, num_tasks=4)
+        with pytest.raises(PlanError):
+            TaskPool(total_work=1.0, num_tasks=0)
+
+
+class TestRunOnTrace:
+    def test_constant_price_completes_with_exact_cost(self):
+        pool = TaskPool(total_work=1.0, num_tasks=8)
+        future = SpotPriceHistory(prices=np.full(100, 0.03))
+        result = run_task_pool_on_trace(pool, future, num_workers=2, bid=0.05)
+        assert result.completed
+        assert result.interruptions == 0
+        assert result.lost_work == 0.0
+        # Two workers, 0.5h each: completion at 0.5h.
+        assert math.isclose(result.completion_time, 0.5)
+        assert math.isclose(result.cost, 0.03 * 1.0, rel_tol=1e-9)
+
+    def test_interruption_returns_tasks_to_pool(self):
+        pool = TaskPool(total_work=1.0, num_tasks=8)
+        prices = np.concatenate([
+            np.full(2, 0.03), np.full(3, 0.9), np.full(100, 0.03),
+        ])
+        future = SpotPriceHistory(prices=prices)
+        result = run_task_pool_on_trace(pool, future, num_workers=2, bid=0.05)
+        assert result.completed
+        assert result.interruptions == 1
+        # In-flight partial tasks were lost, bounded by workers × task.
+        assert 0.0 <= result.lost_work <= 2 * pool.task_size + 1e-12
+
+    def test_pool_survives_with_work_stealing(self):
+        # Even a single worker eventually drains the pool.
+        pool = TaskPool(total_work=0.5, num_tasks=4)
+        prices = np.asarray([0.03, 0.9, 0.03, 0.9] + [0.03] * 50)
+        future = SpotPriceHistory(prices=prices)
+        result = run_task_pool_on_trace(pool, future, num_workers=1, bid=0.05)
+        assert result.completed
+
+    def test_incomplete_when_trace_ends(self):
+        pool = TaskPool(total_work=10.0, num_tasks=8)
+        future = SpotPriceHistory(prices=np.full(5, 0.03))
+        result = run_task_pool_on_trace(pool, future, num_workers=1, bid=0.05)
+        assert not result.completed
+        assert math.isnan(result.completion_time)
+
+    def test_validation(self):
+        pool = TaskPool(total_work=1.0, num_tasks=2)
+        future = SpotPriceHistory(prices=np.full(5, 0.03))
+        with pytest.raises(PlanError):
+            run_task_pool_on_trace(pool, future, num_workers=0, bid=0.05)
+        with pytest.raises(PlanError):
+            run_task_pool_on_trace(pool, future, num_workers=1, bid=0.05,
+                                   start_slot=99)
+
+    def test_fine_tasks_lose_less_work_than_coarse(self):
+        # The granularity argument: finer tasks bound the loss per
+        # interruption more tightly.
+        prices = np.concatenate([
+            np.full(5, 0.03), np.full(2, 0.9),
+            np.full(5, 0.03), np.full(2, 0.9),
+            np.full(200, 0.03),
+        ])
+        future = SpotPriceHistory(prices=prices)
+        results = {}
+        for num_tasks in (2, 64):
+            pool = TaskPool(total_work=2.0, num_tasks=num_tasks)
+            results[num_tasks] = run_task_pool_on_trace(
+                pool, future, num_workers=2, bid=0.05
+            )
+        assert results[64].lost_work <= results[2].lost_work + 1e-12
+        assert results[64].completed and results[2].completed

@@ -1,0 +1,70 @@
+"""CSV round-trip of spot-price traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.history import SpotPriceHistory
+from repro.traces.io import dumps_csv, loads_csv, read_csv, write_csv
+
+
+@pytest.fixture
+def history():
+    return SpotPriceHistory(
+        prices=np.asarray([0.03, 0.031, 0.04, 0.0315]),
+        slot_length=1.0 / 12.0,
+        start_hour=5.0,
+        instance_type="r3.xlarge",
+    )
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self, history):
+        parsed = loads_csv(dumps_csv(history))
+        np.testing.assert_allclose(parsed.prices, history.prices)
+        assert parsed.slot_length == history.slot_length
+        assert parsed.start_hour == history.start_hour
+        assert parsed.instance_type == history.instance_type
+
+    def test_file_roundtrip(self, history, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(history, path)
+        parsed = read_csv(path)
+        np.testing.assert_allclose(parsed.prices, history.prices)
+        assert parsed.instance_type == "r3.xlarge"
+
+    def test_unlabeled_trace(self):
+        history = SpotPriceHistory(prices=np.asarray([0.1, 0.2]))
+        parsed = loads_csv(dumps_csv(history))
+        assert parsed.instance_type is None
+
+
+class TestMalformedInput:
+    def test_empty_file(self):
+        with pytest.raises(TraceError):
+            loads_csv("")
+
+    def test_header_only(self):
+        with pytest.raises(TraceError):
+            loads_csv("slot,time_hours,price\n")
+
+    def test_wrong_header(self):
+        with pytest.raises(TraceError):
+            loads_csv("a,b,c\n0,0.0,0.1\n")
+
+    def test_non_numeric_price(self):
+        with pytest.raises(TraceError):
+            loads_csv("slot,time_hours,price\n0,0.0,cheap\n")
+
+    def test_wrong_column_count(self):
+        with pytest.raises(TraceError):
+            loads_csv("slot,time_hours,price\n0,0.0\n")
+
+    def test_unknown_comment_keys_ignored(self):
+        text = (
+            "# exotic=thing\n# slot_length_hours=0.25\n"
+            "slot,time_hours,price\n0,0.0,0.1\n"
+        )
+        parsed = loads_csv(text)
+        assert parsed.slot_length == 0.25
+        assert parsed.n_slots == 1
