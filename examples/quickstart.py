@@ -14,6 +14,7 @@ import numpy as np
 from repro import (
     BiddingClient,
     JobSpec,
+    Strategy,
     generate_equilibrium_history,
     generate_renewal_history,
     get_instance_type,
@@ -36,15 +37,15 @@ def main() -> None:
     print(f"history:  {history}")
     print()
 
-    for strategy in ("one-time", "persistent"):
+    for strategy in (Strategy.ONE_TIME, Strategy.PERSISTENT):
         decision = client.decide(job, strategy=strategy)
         print(
-            f"{strategy:10s}  bid ${decision.price:.4f}/h  "
+            f"{strategy!s:10s}  bid ${decision.price:.4f}/h  "
             f"expected cost ${decision.expected_cost:.4f}  "
             f"expected completion {decision.expected_completion_time:.2f}h"
         )
 
-    report = client.backtest(job, future, strategy="persistent")
+    report = client.backtest(job, future, strategy=Strategy.PERSISTENT)
     outcome = report.outcome
     print()
     print(

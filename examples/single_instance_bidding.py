@@ -22,6 +22,7 @@ import numpy as np
 from repro import (
     BiddingClient,
     JobSpec,
+    Strategy,
     generate_equilibrium_history,
     generate_renewal_history,
     get_instance_type,
@@ -43,18 +44,21 @@ def main() -> None:
 
     # --- 1. the strategy menu -----------------------------------------
     strategies = {
-        "one-time": (JobSpec(1.0), client.decide(JobSpec(1.0), strategy="one-time")),
+        "one-time": (
+            JobSpec(1.0),
+            client.decide(JobSpec(1.0), strategy=Strategy.ONE_TIME),
+        ),
         "persistent t_r=10s": (
             JobSpec(1.0, seconds(10)),
-            client.decide(JobSpec(1.0, seconds(10)), strategy="persistent"),
+            client.decide(JobSpec(1.0, seconds(10)), strategy=Strategy.PERSISTENT),
         ),
         "persistent t_r=30s": (
             JobSpec(1.0, seconds(30)),
-            client.decide(JobSpec(1.0, seconds(30)), strategy="persistent"),
+            client.decide(JobSpec(1.0, seconds(30)), strategy=Strategy.PERSISTENT),
         ),
         "90th percentile": (
             JobSpec(1.0, seconds(30)),
-            client.decide(JobSpec(1.0, seconds(30)), strategy="percentile"),
+            client.decide(JobSpec(1.0, seconds(30)), strategy=Strategy.PERCENTILE),
         ),
     }
     for label, (_job, d) in strategies.items():

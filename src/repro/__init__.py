@@ -10,13 +10,15 @@ The library has three layers:
   the Figure 3 fitting procedure.
 * Substrates — ``repro.traces`` (instance catalog, price histories),
   ``repro.market`` (the discrete-time spot-market simulator standing in
-  for live EC2) and ``repro.mapreduce`` (master/slave cluster runner).
+  for live EC2), ``repro.sweep`` (batched bid×trace backtests) and
+  ``repro.mapreduce`` (master/slave cluster runner).
 
 Quickstart::
 
     import numpy as np
-    from repro import (JobSpec, BiddingClient, generate_equilibrium_history,
-                       get_instance_type, seconds)
+    from repro import (JobSpec, BiddingClient, Strategy, run_sweep,
+                       generate_equilibrium_history, get_instance_type,
+                       seconds)
 
     rng = np.random.default_rng(7)
     itype = get_instance_type("r3.xlarge")
@@ -25,8 +27,12 @@ Quickstart::
 
     client = BiddingClient(history, ondemand_price=itype.on_demand_price)
     job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
-    report = client.backtest(job, future, strategy="persistent")
+    report = client.backtest(job, future, strategy=Strategy.PERSISTENT)
     print(report.decision.price, report.outcome.cost)
+
+    # Evaluate a whole bid grid against the future trace in one shot:
+    grid = run_sweep(future, np.linspace(0.02, 0.2, 64), job)
+    print(grid.best_bid(), grid.completion_rate())
 """
 
 from .constants import DEFAULT_SLOT_HOURS, minutes, seconds
@@ -43,6 +49,8 @@ from .core import (
     MapReducePlan,
     ParallelJobSpec,
     PriceDistribution,
+    Strategy,
+    normalize_strategy,
     optimal_onetime_bid,
     optimal_parallel_bid,
     optimal_persistent_bid,
@@ -64,8 +72,9 @@ from .errors import (
     ReproError,
     TraceError,
 )
-from .market import SpotMarket, TracePriceSource
+from .market import OutcomeStats, SpotMarket, TracePriceSource
 from .provider import EquilibriumPriceModel, ProviderSimulation
+from .sweep import SweepCounters, SweepReport, run_sweep
 from .traces import (
     SpotPriceHistory,
     generate_correlated_history,
@@ -98,6 +107,8 @@ __all__ = [
     "MapReducePlan",
     "ParallelJobSpec",
     "PriceDistribution",
+    "Strategy",
+    "normalize_strategy",
     "optimal_onetime_bid",
     "optimal_parallel_bid",
     "optimal_persistent_bid",
@@ -113,8 +124,12 @@ __all__ = [
     "PlanError",
     "ReproError",
     "TraceError",
+    "OutcomeStats",
     "SpotMarket",
     "TracePriceSource",
+    "SweepCounters",
+    "SweepReport",
+    "run_sweep",
     "EquilibriumPriceModel",
     "ProviderSimulation",
     "SpotPriceHistory",

@@ -7,6 +7,8 @@ Subcommands
 ``bid``        Compute the optimal bid for a job from a trace CSV.
 ``fit``        Fit the Section 4 model to a trace CSV (Figure 3).
 ``backtest``   Decide a bid on one trace and execute it on another.
+``sweep``      Evaluate a grid of bids against future traces in one
+               batched pass (the ``repro.sweep`` engine).
 ``experiment`` Run one of the paper's table/figure reproductions
                (or ``all`` to regenerate a full markdown report).
 ``describe``   Summarize a trace CSV (floor occupancy, episodes, tail).
@@ -35,7 +37,7 @@ import numpy as np
 from . import __version__
 from .constants import seconds
 from .core.client import BiddingClient
-from .core.types import JobSpec
+from .core.types import JobSpec, Strategy
 from .errors import ReproError
 from .provider.fitting import fit_both_families
 from .traces import io as trace_io
@@ -113,6 +115,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="persistent",
     )
     p_back.add_argument("--start-slot", type=int, default=0)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="evaluate a grid of bids against one or more future traces"
+    )
+    p_sweep.add_argument("history", help="trace CSV the bid grid is derived from")
+    p_sweep.add_argument(
+        "futures", nargs="+", help="trace CSV(s) the bids are executed on"
+    )
+    p_sweep.add_argument("--hours", type=float, default=1.0, help="t_s")
+    p_sweep.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_sweep.add_argument(
+        "--strategy", choices=("one-time", "persistent"), default="persistent"
+    )
+    p_sweep.add_argument("--bids", type=int, default=16,
+                         help="number of bid grid points")
+    p_sweep.add_argument("--low", type=float, default=None,
+                         help="lowest bid (default: history minimum)")
+    p_sweep.add_argument("--high", type=float, default=None,
+                         help="highest bid (default: history maximum)")
+    p_sweep.add_argument("--start-slot", type=int, default=0)
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="fan traces out over this many workers")
 
     p_exp = sub.add_parser("experiment", help="run a paper reproduction")
     p_exp.add_argument("name", choices=_EXPERIMENTS + ("all",))
@@ -197,9 +221,7 @@ def _cmd_bid(args: argparse.Namespace) -> int:
         slot_length=history.slot_length,
     )
     strategies = (
-        ("one-time", "persistent", "percentile")
-        if args.strategy == "all"
-        else (args.strategy,)
+        tuple(Strategy) if args.strategy == "all" else (Strategy(args.strategy),)
     )
     print(
         f"job: t_s={args.hours:g}h t_r={args.recovery_seconds:g}s  "
@@ -207,7 +229,7 @@ def _cmd_bid(args: argparse.Namespace) -> int:
     )
     for strategy in strategies:
         decision = client.decide(job, strategy=strategy, percentile=args.percentile)
-        _print_decision(strategy, decision)
+        _print_decision(str(strategy), decision)
     return 0
 
 
@@ -241,7 +263,7 @@ def _cmd_backtest(args: argparse.Namespace) -> int:
         slot_length=history.slot_length,
     )
     report = client.backtest(
-        job, future, strategy=args.strategy, start_slot=args.start_slot
+        job, future, strategy=Strategy(args.strategy), start_slot=args.start_slot
     )
     _print_decision(args.strategy, report.decision)
     o = report.outcome
@@ -255,6 +277,51 @@ def _cmd_backtest(args: argparse.Namespace) -> int:
         f"vs on-demand ${client.ondemand_cost(job):.4f}: "
         f"savings {1 - o.cost / client.ondemand_cost(job):.1%}"
     )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import run_sweep
+
+    history = trace_io.read_csv(args.history)
+    futures = [trace_io.read_csv(path) for path in args.futures]
+    if args.bids < 1:
+        raise ReproError(f"--bids must be at least 1, got {args.bids}")
+    low = args.low if args.low is not None else float(history.prices.min())
+    high = args.high if args.high is not None else float(history.prices.max())
+    if not high >= low:
+        raise ReproError(f"--high ({high:g}) must be >= --low ({low:g})")
+    bids = np.linspace(low, high, args.bids)
+    job = JobSpec(
+        execution_time=args.hours,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=history.slot_length,
+    )
+    report = run_sweep(
+        futures,
+        bids,
+        job,
+        strategy=Strategy(args.strategy),
+        start_slots=args.start_slot,
+        max_workers=args.workers,
+    )
+    print(
+        f"sweep: {report.counters.n_traces} trace(s) x "
+        f"{report.counters.n_bids} bids ({report.counters.cells} cells), "
+        f"{report.counters.slots_simulated} slots in "
+        f"{report.counters.kernel_seconds * 1e3:.1f} ms"
+    )
+    print(f"{'bid $/h':>9s} {'done':>6s} {'mean $':>9s} {'mean intr':>9s}")
+    rates = report.completion_rate()
+    for j, bid in enumerate(report.bids):
+        print(
+            f"{bid:9.4f} {rates[j]:6.2f} {report.mean_cost()[j]:9.4f} "
+            f"{report.interruptions[:, j].mean():9.2f}"
+        )
+    best = report.best_bid_index()
+    print(f"best bid: ${report.bids[best]:.4f}/h "
+          f"(mean cost ${report.mean_cost()[best]:.4f}, "
+          f"completion rate {rates[best]:.0%})")
     return 0
 
 
@@ -388,6 +455,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bid": _cmd_bid,
         "fit": _cmd_fit,
         "backtest": _cmd_backtest,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "describe": _cmd_describe,
         "options": _cmd_options,

@@ -45,6 +45,8 @@ from .types import (
     MapReduceJobSpec,
     MapReducePlan,
     ParallelJobSpec,
+    Strategy,
+    normalize_strategy,
 )
 
 __all__ = [
@@ -78,4 +80,6 @@ __all__ = [
     "MapReduceJobSpec",
     "MapReducePlan",
     "ParallelJobSpec",
+    "Strategy",
+    "normalize_strategy",
 ]

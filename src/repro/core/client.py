@@ -21,7 +21,7 @@ from .distributions import EmpiricalPriceDistribution
 from .heuristics import percentile_bid
 from .onetime import optimal_onetime_bid
 from .persistent import optimal_persistent_bid
-from .types import BidDecision, BidKind, JobSpec
+from .types import BidDecision, BidKind, JobSpec, Strategy, normalize_strategy
 
 __all__ = ["BidRunReport", "BiddingClient"]
 
@@ -57,36 +57,37 @@ class BiddingClient:
             )
         self.history = history
         self.ondemand_price = float(ondemand_price)
-        self.distribution: EmpiricalPriceDistribution = history.to_distribution()
+        # Deferred import: repro.sweep depends on repro.core at import time.
+        from ..sweep.cache import cached_distribution
+
+        self.distribution: EmpiricalPriceDistribution = cached_distribution(history)
 
     # -- bid calculation (Figure 1's "bid calculator") --------------------
     def decide(
         self,
         job: JobSpec,
         *,
-        strategy: str = "persistent",
+        strategy: "Strategy | str" = Strategy.PERSISTENT,
         percentile: float = 90.0,
     ) -> BidDecision:
         """Compute a bid for ``job`` with the chosen strategy.
 
-        ``strategy`` is one of ``"one-time"`` (Prop. 4), ``"persistent"``
-        (Prop. 5) or ``"percentile"`` (the Section 7 heuristic baseline,
-        using ``percentile``).
+        ``strategy`` is a :class:`~repro.core.types.Strategy` member:
+        ``Strategy.ONE_TIME`` (Prop. 4), ``Strategy.PERSISTENT`` (Prop. 5)
+        or ``Strategy.PERCENTILE`` (the Section 7 heuristic baseline,
+        using ``percentile``).  Legacy strings are accepted with a
+        :class:`DeprecationWarning`.
         """
-        if strategy == "one-time":
+        strategy = normalize_strategy(strategy)
+        if strategy is Strategy.ONE_TIME:
             return optimal_onetime_bid(
                 self.distribution, job, ondemand_price=self.ondemand_price
             )
-        if strategy == "persistent":
+        if strategy is Strategy.PERSISTENT:
             return optimal_persistent_bid(
                 self.distribution, job, ondemand_price=self.ondemand_price
             )
-        if strategy == "percentile":
-            return percentile_bid(self.distribution, job, percentile=percentile)
-        raise ValueError(
-            f"unknown strategy {strategy!r}; use 'one-time', 'persistent' "
-            "or 'percentile'"
-        )
+        return percentile_bid(self.distribution, job, percentile=percentile)
 
     # -- execution (Figure 1's "job monitor") ------------------------------
     def execute(
@@ -142,7 +143,7 @@ class BiddingClient:
         job: JobSpec,
         future: SpotPriceHistory,
         *,
-        strategy: str = "persistent",
+        strategy: "Strategy | str" = Strategy.PERSISTENT,
         percentile: float = 90.0,
         start_slot: int = 0,
         fallback_ondemand: bool = False,

@@ -30,7 +30,7 @@ from scipy import optimize
 
 from ..errors import InfeasibleBidError
 from . import costs
-from .distributions import EmpiricalPriceDistribution, PriceDistribution
+from .distributions import PriceDistribution
 from .types import BidDecision, BidKind, JobSpec
 
 __all__ = [
@@ -92,14 +92,15 @@ def minimize_cost_over_candidates(
 ) -> float:
     """Return the candidate bid minimizing ``cost_fn``; ties → lowest price.
 
-    For :class:`EmpiricalPriceDistribution` the scan is fully vectorized
-    using the presorted arrays; other distributions fall back to a scalar
-    loop over a dense grid.
+    Distributions exposing the vectorized pair ``cdf_array`` /
+    ``partial_expectation_array`` (the empirical ECDF, the equilibrium
+    model) are scanned in one vectorized pass through eq. 15's closed
+    form; others fall back to a scalar loop over a dense grid.
     """
     low = _feasible_lower_bound(dist, job)
     candidates = candidate_prices(dist, low)
 
-    if isinstance(dist, EmpiricalPriceDistribution):
+    if hasattr(dist, "cdf_array") and hasattr(dist, "partial_expectation_array"):
         accept = dist.cdf_array(candidates)
         below = dist.partial_expectation_array(candidates)
         r = job.recovery_time / job.slot_length

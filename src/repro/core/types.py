@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 import math
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..constants import DEFAULT_SLOT_HOURS
 from ..errors import PlanError
@@ -31,6 +32,65 @@ class BidKind(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+class Strategy(enum.Enum):
+    """Bidding strategies understood by the client and sweep layers.
+
+    ``ONE_TIME`` solves Prop. 4, ``PERSISTENT`` solves Prop. 5 and
+    ``PERCENTILE`` is the Section 7 heuristic baseline.  The enum replaces
+    the legacy string-typed ``strategy=`` arguments; strings are still
+    accepted through :func:`normalize_strategy` with a
+    :class:`DeprecationWarning`.
+    """
+
+    ONE_TIME = "one-time"
+    PERSISTENT = "persistent"
+    PERCENTILE = "percentile"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def bid_kind(self) -> BidKind:
+        """The spot request type this strategy submits (PERCENTILE bids
+        are placed as persistent requests in every Section 7 experiment)."""
+        return BidKind.ONE_TIME if self is Strategy.ONE_TIME else BidKind.PERSISTENT
+
+
+#: Legacy spelling drift observed in the wild for the string API.
+_STRATEGY_ALIASES = {
+    "one-time": Strategy.ONE_TIME,
+    "onetime": Strategy.ONE_TIME,
+    "one_time": Strategy.ONE_TIME,
+    "persistent": Strategy.PERSISTENT,
+    "percentile": Strategy.PERCENTILE,
+}
+
+
+def normalize_strategy(strategy: Union[Strategy, str]) -> Strategy:
+    """Coerce a strategy argument to the :class:`Strategy` enum.
+
+    Enum members pass through untouched.  Legacy strings (including the
+    ``"onetime"``/``"one_time"`` spelling drift) are accepted with a
+    :class:`DeprecationWarning`; anything else raises :class:`ValueError`.
+    """
+    if isinstance(strategy, Strategy):
+        return strategy
+    if isinstance(strategy, str):
+        resolved = _STRATEGY_ALIASES.get(strategy.strip().lower())
+        if resolved is not None:
+            warnings.warn(
+                f"passing strategy={strategy!r} as a string is deprecated; "
+                f"use repro.Strategy.{resolved.name} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return resolved
+    raise ValueError(
+        f"unknown strategy {strategy!r}; use Strategy.ONE_TIME, "
+        "Strategy.PERSISTENT or Strategy.PERCENTILE"
+    )
 
 
 @dataclass(frozen=True)

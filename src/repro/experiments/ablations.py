@@ -28,11 +28,12 @@ from ..core import costs
 from ..core.onetime import optimal_onetime_bid
 from ..core.persistent import optimal_persistent_bid
 from ..core.mapreduce import optimal_parallel_bid
-from ..core.types import BidKind, JobSpec, ParallelJobSpec
+from ..core.types import BidKind, JobSpec, ParallelJobSpec, Strategy
 from ..extensions.correlated import lag1_price_persistence
 from ..market.price_sources import TracePriceSource
 from ..market.simulator import SpotMarket
 from ..provider.pricing import optimal_spot_price
+from ..sweep import run_sweep
 from ..traces.catalog import get_instance_type
 from ..traces.generator import (
     generate_correlated_history,
@@ -287,7 +288,7 @@ def temporal_texture(
     rows = []
     for texture in ("iid", "copula-0.95", "renewal"):
         rng = config.rng(8, 1, zlib_crc(texture))
-        interruptions, costs, persist = [], [], []
+        futures, persist = [], []
         for rep in range(config.repetitions):
             if texture == "iid":
                 future = generate_equilibrium_history(
@@ -306,30 +307,21 @@ def temporal_texture(
                     tail_episode_hours=config.tail_episode_hours,
                     slot_length=config.slot_length,
                 )
-            market = SpotMarket(
-                TracePriceSource(future), slot_length=config.slot_length
-            )
-            rid = market.submit(
-                bid_price=decision.price,
-                work=job.execution_time,
-                kind=BidKind.PERSISTENT,
-                recovery_time=job.recovery_time,
-            )
-            try:
-                market.run_until_done(max_slots=future.n_slots)
-            except Exception:
-                pass
-            outcome = market.outcome(rid)
-            if outcome.completed:
-                interruptions.append(outcome.interruptions)
-                costs.append(outcome.cost)
+            futures.append(future)
             persist.append(lag1_price_persistence(future.prices, decision.price))
+        # One batched sweep replaces the per-repetition market loop.
+        report = run_sweep(
+            futures, decision.price, job, strategy=Strategy.PERSISTENT
+        )
+        ok = report.completed[:, 0]
+        interruptions = report.interruptions[ok, 0]
+        costs = report.cost[ok, 0]
         rows.append(
             TextureRow(
                 texture=texture,
                 lag1_persistence=float(np.mean(persist)),
-                interruptions_per_run=float(np.mean(interruptions)) if interruptions else float("nan"),
-                mean_cost=float(np.mean(costs)) if costs else float("nan"),
+                interruptions_per_run=float(np.mean(interruptions)) if interruptions.size else float("nan"),
+                mean_cost=float(np.mean(costs)) if costs.size else float("nan"),
             )
         )
     return TextureResult(rows=rows)
@@ -385,7 +377,7 @@ def billing_comparison(
     bill for completed runs, quantifying how conservative the paper's
     cost model is.
     """
-    from ..market.billing import HourlyBilling, PerSlotBilling
+    from ..market.billing import HourlyBilling
     from ..market.price_sources import TracePriceSource
     from ..market.simulator import SpotMarket
     from .common import calm_start_slot, history_and_future
@@ -396,39 +388,62 @@ def billing_comparison(
     job = JobSpec(execution_time, seconds(30), slot_length=config.slot_length)
     decision = optimal_persistent_bid(dist, job)
 
+    # Both policies run on identical traces and start slots (the seed
+    # re-derived them per policy from the same substream).
+    rng = config.rng(12, 1)
+    futures, starts = [], []
+    for rep in range(config.repetitions):
+        _, future = history_and_future(itype, config, 91, rep)
+        futures.append(future)
+        starts.append(calm_start_slot(rng, future))
+
     rows = []
-    for label, factory in (("per-slot", PerSlotBilling), ("hourly", HourlyBilling)):
-        rng = config.rng(12, 1)
-        costs, completed = [], 0
-        for rep in range(config.repetitions):
-            _, future = history_and_future(itype, config, 91, rep)
-            market = SpotMarket(
-                TracePriceSource(future, start_slot=calm_start_slot(rng, future)),
-                slot_length=config.slot_length,
-                billing_factory=factory,
-            )
-            rid = market.submit(
-                bid_price=decision.price,
-                work=job.execution_time,
-                kind=BidKind.PERSISTENT,
-                recovery_time=job.recovery_time,
-            )
-            try:
-                market.run_until_done(max_slots=future.n_slots)
-            except Exception:
-                pass
-            outcome = market.outcome(rid)
-            if outcome.completed:
-                completed += 1
-                costs.append(outcome.cost)
-        rows.append(
-            BillingRow(
-                policy=label,
-                mean_cost=float(np.mean(costs)),
-                completed=completed,
-                repetitions=config.repetitions,
-            )
+
+    # Per-slot billing is exactly the sweep kernels' cost model.
+    report = run_sweep(
+        futures, decision.price, job,
+        strategy=Strategy.PERSISTENT, start_slots=starts,
+    )
+    ok = report.completed[:, 0]
+    rows.append(
+        BillingRow(
+            policy="per-slot",
+            mean_cost=float(np.mean(report.cost[ok, 0])),
+            completed=int(np.count_nonzero(ok)),
+            repetitions=config.repetitions,
         )
+    )
+
+    # Hourly rounding needs the full market engine's billing hooks.
+    costs, completed = [], 0
+    for future, start in zip(futures, starts):
+        market = SpotMarket(
+            TracePriceSource(future, start_slot=start),
+            slot_length=config.slot_length,
+            billing_factory=HourlyBilling,
+        )
+        rid = market.submit(
+            bid_price=decision.price,
+            work=job.execution_time,
+            kind=BidKind.PERSISTENT,
+            recovery_time=job.recovery_time,
+        )
+        try:
+            market.run_until_done(max_slots=future.n_slots)
+        except Exception:
+            pass
+        outcome = market.outcome(rid)
+        if outcome.completed:
+            completed += 1
+            costs.append(outcome.cost)
+    rows.append(
+        BillingRow(
+            policy="hourly",
+            mean_cost=float(np.mean(costs)),
+            completed=completed,
+            repetitions=config.repetitions,
+        )
+    )
     return BillingResult(rows=rows)
 
 
@@ -486,30 +501,38 @@ def forecasting_comparison(
     job = JobSpec(1.0, seconds(30), slot_length=config.slot_length)
 
     decisions = {
-        "stationary-ecdf": client.decide(job, strategy="persistent"),
+        "stationary-ecdf": client.decide(job, strategy=Strategy.PERSISTENT),
         "ewma": forecast_bid(EwmaForecaster(), history, job),
         "ar1": forecast_bid(Ar1Forecaster(), history, job),
     }
+    # The seed re-derived identical futures and start slots per
+    # forecaster from a re-seeded substream; here every forecaster is one
+    # bid column of a single sweep over that shared trace stack.
+    rng = config.rng(13, 1)
+    futures, starts = [], []
+    for rep in range(config.repetitions):
+        _, future = history_and_future(itype, config, 93, rep)
+        futures.append(future)
+        starts.append(calm_start_slot(rng, future))
+    report = run_sweep(
+        futures,
+        [decision.price for decision in decisions.values()],
+        job,
+        strategy=Strategy.PERSISTENT,
+        start_slots=starts,
+    )
     rows = []
-    for name, decision in decisions.items():
-        rng = config.rng(13, 1)
-        costs, times, completed = [], [], 0
-        for rep in range(config.repetitions):
-            _, future = history_and_future(itype, config, 93, rep)
-            outcome = client.execute(
-                decision, job, future, start_slot=calm_start_slot(rng, future)
-            )
-            if outcome.completed:
-                completed += 1
-                costs.append(outcome.cost)
-                times.append(outcome.completion_time)
+    for j, (name, decision) in enumerate(decisions.items()):
+        ok = report.completed[:, j]
+        costs = report.cost[ok, j]
+        times = report.completion_time[ok, j]
         rows.append(
             ForecastRow(
                 forecaster=name,
                 bid=decision.price,
-                mean_cost=float(np.mean(costs)) if costs else float("nan"),
-                mean_completion=float(np.mean(times)) if times else float("nan"),
-                completed=completed,
+                mean_cost=float(np.mean(costs)) if costs.size else float("nan"),
+                mean_completion=float(np.mean(times)) if times.size else float("nan"),
+                completed=int(np.count_nonzero(ok)),
                 repetitions=config.repetitions,
             )
         )
@@ -879,37 +902,32 @@ def scheduling_policy(
     # happen, so this ablation stresses that regime rather than the calm
     # one the Section 7 experiments model.
     rng = config.rng(16, 0)
-    pinned = {"costs": [], "times": [], "completed": 0}
-    pooled = {"costs": [], "times": [], "completed": 0, "lost": []}
+    futures, starts = [], []
     for rep in range(config.repetitions):
-        future = generate_renewal_history(
-            itype, days=config.future_days, rng=config.rng(16, 2, rep),
-            floor_episode_hours=2.0, tail_episode_hours=0.5,
-            slot_length=config.slot_length,
-        )
-        start = int(rng.integers(0, 288))
-
-        market = SpotMarket(
-            TracePriceSource(future, start_slot=start),
-            slot_length=config.slot_length,
-        )
-        rids = [
-            market.submit(
-                bid_price=bid, work=total_work / num_workers,
-                kind=BidKind.PERSISTENT, recovery_time=seconds(30),
+        futures.append(
+            generate_renewal_history(
+                itype, days=config.future_days, rng=config.rng(16, 2, rep),
+                floor_episode_hours=2.0, tail_episode_hours=0.5,
+                slot_length=config.slot_length,
             )
-            for _ in range(num_workers)
-        ]
-        try:
-            market.run_until_done(max_slots=future.n_slots - start)
-        except Exception:
-            pass
-        outcomes = [market.outcome(r) for r in rids]
-        if all(o.completed for o in outcomes):
-            pinned["completed"] += 1
-            pinned["times"].append(max(o.completion_time for o in outcomes))
-            pinned["costs"].append(sum(o.cost for o in outcomes))
+        )
+        starts.append(int(rng.integers(0, 288)))
 
+    # The pinned sub-jobs are identical independent requests, so one
+    # sweep lane stands in for all ``num_workers`` of them.
+    report = run_sweep(
+        futures, bid, surrogate,
+        strategy=Strategy.PERSISTENT, start_slots=starts,
+    )
+    ok = report.completed[:, 0]
+    pinned = {
+        "costs": list(num_workers * report.cost[ok, 0]),
+        "times": list(report.completion_time[ok, 0]),
+        "completed": int(np.count_nonzero(ok)),
+    }
+
+    pooled = {"costs": [], "times": [], "completed": 0, "lost": []}
+    for future, start in zip(futures, starts):
         pool = TaskPool(total_work=total_work, num_tasks=num_workers * 8)
         result = run_task_pool_on_trace(
             pool, future, num_workers=num_workers, bid=bid, start_slot=start
@@ -999,7 +1017,7 @@ def history_length_sensitivity(
     rows = []
     for days in day_grid:
         rng = config.rng(17, int(days * 10))
-        bids, costs_, completed = [], [], 0
+        bids, futures, starts = [], [], []
         for rep in range(config.repetitions):
             hist_rng = config.rng(17, 1, rep, int(days * 10))
             history = generate_equilibrium_history(
@@ -1008,22 +1026,26 @@ def history_length_sensitivity(
             client = BiddingClient(
                 history, ondemand_price=itype.on_demand_price
             )
-            decision = client.decide(job, strategy="persistent")
+            decision = client.decide(job, strategy=Strategy.PERSISTENT)
             bids.append(decision.price)
             _, future = history_and_future(itype, config, 99, rep)
-            outcome = client.execute(
-                decision, job, future, start_slot=calm_start_slot(rng, future)
-            )
-            if outcome.completed:
-                completed += 1
-                costs_.append(outcome.cost)
+            futures.append(future)
+            starts.append(calm_start_slot(rng, future))
+        # Each repetition's refit bid runs only on its own future trace:
+        # a paired (zipped) sweep rather than the full grid.
+        report = run_sweep(
+            futures, bids, job,
+            strategy=Strategy.PERSISTENT, start_slots=starts, pair_bids=True,
+        )
+        ok = report.completed[:, 0]
+        costs_ = report.cost[ok, 0]
         rows.append(
             HistoryLengthRow(
                 history_days=days,
                 mean_bid=float(np.mean(bids)),
                 bid_std=float(np.std(bids, ddof=1)) if len(bids) > 1 else 0.0,
-                mean_cost=float(np.mean(costs_)) if costs_ else float("nan"),
-                completed=completed,
+                mean_cost=float(np.mean(costs_)) if costs_.size else float("nan"),
+                completed=int(np.count_nonzero(ok)),
                 repetitions=config.repetitions,
             )
         )

@@ -17,14 +17,15 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
 from ..analysis.stats import percent_difference
 from ..constants import seconds
 from ..core.client import BiddingClient
-from ..core.types import JobSpec
+from ..core.types import JobSpec, Strategy
+from ..sweep import run_sweep
 from ..traces.catalog import TABLE3_TYPES, get_instance_type
 from .common import (
     ExperimentConfig,
@@ -97,13 +98,13 @@ class Fig6Result:
 def _strategy_decision(client: BiddingClient, strategy: str, base_ts: float):
     if strategy == "persistent-10s":
         job = JobSpec(base_ts, seconds(10))
-        return job, client.decide(job, strategy="persistent")
+        return job, client.decide(job, strategy=Strategy.PERSISTENT)
     if strategy == "persistent-30s":
         job = JobSpec(base_ts, seconds(30))
-        return job, client.decide(job, strategy="persistent")
+        return job, client.decide(job, strategy=Strategy.PERSISTENT)
     if strategy == "percentile-90":
         job = JobSpec(base_ts, seconds(30))
-        return job, client.decide(job, strategy="percentile", percentile=90.0)
+        return job, client.decide(job, strategy=Strategy.PERCENTILE, percentile=90.0)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -123,56 +124,59 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig6Result:
         history, _ = history_and_future(itype, config, 60)
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
         onetime_job = JobSpec(base_ts, slot_length=config.slot_length)
-        onetime = client.decide(onetime_job, strategy="one-time")
+        onetime = client.decide(onetime_job, strategy=Strategy.ONE_TIME)
+        # Bid decisions depend only on the history, not the repetition,
+        # so they are computed once per instance type.
+        plans = {s: _strategy_decision(client, s, base_ts) for s in STRATEGIES}
         rng = config.rng(6, zlib.crc32(name.encode()))
 
-        # Paired samples across repetitions.
-        samples: Dict[str, Dict[str, List[float]]] = {
-            s: {"price": [], "time": [], "cost": []} for s in STRATEGIES
-        }
-        baseline = {"price": [], "time": [], "cost": []}
-        completed_counts = {s: 0 for s in STRATEGIES}
+        # All repetitions share one trace stack with paired start slots;
+        # each strategy is then a single-bid sweep over that stack.
+        futures = []
+        starts = []
         for rep in range(repetitions):
             _, future = history_and_future(itype, config, 61, rep)
-            start = calm_start_slot(rng, future)
-            base_out = client.execute(
-                onetime, onetime_job, future, start_slot=start,
-            )
-            # Figure 6 compares *completed* runs (none of the paper's
-            # baseline runs were interrupted); the rare failed baseline
-            # runs are excluded from every panel and the completion
-            # counters expose them.
-            if base_out.completed:
-                baseline["cost"].append(base_out.cost)
-                baseline["price"].append(base_out.charged_price_per_hour)
-                baseline["time"].append(base_out.completion_time)
-            for strat in STRATEGIES:
-                job, decision = _strategy_decision(client, strat, base_ts)
-                out = client.execute(decision, job, future, start_slot=start)
-                if out.completed:
-                    completed_counts[strat] += 1
-                    samples[strat]["cost"].append(out.cost)
-                    samples[strat]["price"].append(out.charged_price_per_hour)
-                    samples[strat]["time"].append(out.completion_time)
+            futures.append(future)
+            starts.append(calm_start_slot(rng, future))
 
-        base_price = float(np.mean(baseline["price"]))
-        base_time = float(np.mean(baseline["time"]))
-        base_cost = float(np.mean(baseline["cost"]))
+        base_report = run_sweep(
+            futures, onetime.price, onetime_job,
+            strategy=Strategy.ONE_TIME, start_slots=starts,
+        )
+        # Figure 6 compares *completed* runs (none of the paper's
+        # baseline runs were interrupted); the rare failed baseline
+        # runs are excluded from every panel and the completion
+        # counters expose them.
+        base_ok = base_report.completed[:, 0]
+        base_cost_arr = base_report.cost[base_ok, 0]
+        base_run_arr = base_report.running_time[base_ok, 0]
+        base_price = float(np.mean(base_cost_arr / base_run_arr))
+        base_time = float(np.mean(base_report.completion_time[base_ok, 0]))
+        base_cost = float(np.mean(base_cost_arr))
+
         for strat in STRATEGIES:
+            job, decision = plans[strat]
+            report = run_sweep(
+                futures, decision.price, job,
+                strategy=Strategy.PERSISTENT, start_slots=starts,
+            )
+            ok = report.completed[:, 0]
+            cost_arr = report.cost[ok, 0]
+            run_arr = report.running_time[ok, 0]
             cells.append(
                 Fig6Cell(
                     instance_type=name,
                     strategy=strat,
                     price_diff_pct=percent_difference(
-                        float(np.mean(samples[strat]["price"])), base_price
+                        float(np.mean(cost_arr / run_arr)), base_price
                     ),
                     completion_diff_pct=percent_difference(
-                        float(np.mean(samples[strat]["time"])), base_time
+                        float(np.mean(report.completion_time[ok, 0])), base_time
                     ),
                     cost_diff_pct=percent_difference(
-                        float(np.mean(samples[strat]["cost"])), base_cost
+                        float(np.mean(cost_arr)), base_cost
                     ),
-                    completed=completed_counts[strat],
+                    completed=int(np.count_nonzero(ok)),
                     repetitions=repetitions,
                 )
             )

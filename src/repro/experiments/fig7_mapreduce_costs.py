@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.stats import percent_difference, savings_fraction
 from ..mapreduce.runner import ondemand_baseline, run_plan_on_traces
+from ..sweep import map_traces
 from ..traces.catalog import get_instance_type
 from .common import (
     ExperimentConfig,
@@ -107,18 +108,24 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig7Result:
             plan.job, master_t.on_demand_price, slave_t.on_demand_price
         )
         rng = config.rng(7, zlib.crc32(f"{master_name}/{slave_name}".encode()))
-        times, costs = [], []
-        completed = 0
+        reps = []
         for rep in range(config.repetitions):
             _, master_fut = history_and_future(master_t, config, 71, rep)
             _, slave_fut = history_and_future(slave_t, config, 72, rep)
-            result = run_plan_on_traces(
-                plan, master_fut, slave_fut, start_slot=calm_start_slot(rng, slave_fut)
-            )
-            if result.completed:
-                completed += 1
-                times.append(result.completion_time)
-                costs.append(result.total_cost)
+            reps.append((master_fut, slave_fut, calm_start_slot(rng, slave_fut)))
+        # Cluster runs cannot be a single-request kernel (master and
+        # slaves interact), so the repetitions fan out through the
+        # sweep layer's trace mapper instead.
+        results = map_traces(
+            lambda item: run_plan_on_traces(
+                plan, item[0], item[1], start_slot=item[2]
+            ),
+            reps,
+            max_workers=config.max_workers,
+        )
+        times = [r.completion_time for r in results if r.completed]
+        costs = [r.total_cost for r in results if r.completed]
+        completed = sum(1 for r in results if r.completed)
         bars.append(
             Fig7Bar(
                 setting=f"C{idx}",

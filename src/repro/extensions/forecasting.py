@@ -34,7 +34,7 @@ import numpy as np
 from ..core.distributions import EmpiricalPriceDistribution
 from ..core.onetime import optimal_onetime_bid
 from ..core.persistent import optimal_persistent_bid
-from ..core.types import BidDecision, JobSpec
+from ..core.types import BidDecision, JobSpec, Strategy, normalize_strategy
 from ..errors import DistributionError
 from ..traces.history import SpotPriceHistory
 
@@ -148,7 +148,7 @@ def forecast_bid(
     history: SpotPriceHistory,
     job: JobSpec,
     *,
-    strategy: str = "persistent",
+    strategy: "Strategy | str" = Strategy.PERSISTENT,
     ondemand_price: Optional[float] = None,
 ) -> BidDecision:
     """Bid using a forecaster's predicted distribution.
@@ -156,10 +156,11 @@ def forecast_bid(
     The horizon is the job's expected slot count (``t_s/t_k``, rounded
     up) — the look-ahead the paper says the user actually needs.
     """
+    strategy = normalize_strategy(strategy)
     horizon = max(1, math.ceil(job.execution_time / job.slot_length))
     dist = forecaster.predict(history, horizon)
-    if strategy == "one-time":
+    if strategy is Strategy.ONE_TIME:
         return optimal_onetime_bid(dist, job, ondemand_price=ondemand_price)
-    if strategy == "persistent":
+    if strategy is Strategy.PERSISTENT:
         return optimal_persistent_bid(dist, job, ondemand_price=ondemand_price)
-    raise ValueError(f"unknown strategy {strategy!r}")
+    raise ValueError(f"unsupported strategy {strategy!r} for forecast bidding")

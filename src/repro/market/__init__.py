@@ -1,8 +1,11 @@
 """The spot-market simulator substrate (the repo's EC2 stand-in)."""
 
+import warnings
+
 from .billing import BillingPolicy, HourlyBilling, PerSlotBilling
 from .events import EventKind, EventLog, MarketEvent
-from .fastpath import FastOutcome, fast_onetime_outcome, fast_persistent_outcome
+from .fastpath import fast_onetime_outcome, fast_persistent_outcome
+from .outcomes import OutcomeStats
 from .price_sources import (
     EndogenousPriceSource,
     IIDPriceSource,
@@ -21,6 +24,7 @@ __all__ = [
     "EventLog",
     "MarketEvent",
     "FastOutcome",
+    "OutcomeStats",
     "fast_onetime_outcome",
     "fast_persistent_outcome",
     "EndogenousPriceSource",
@@ -33,3 +37,15 @@ __all__ = [
     "JobOutcome",
     "SpotMarket",
 ]
+
+
+def __getattr__(name: str):
+    if name == "FastOutcome":
+        warnings.warn(
+            "FastOutcome is deprecated; use repro.market.OutcomeStats "
+            "(same fields, shared by all simulation backends)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return OutcomeStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,32 +7,35 @@ the price array — no market object, no event log — touching only the
 accepted slots.  Its semantics are defined to match
 :func:`repro.market.instance.advance_request` exactly, and the test
 suite holds the two implementations equal on random traces, which makes
-this module double as an independent oracle for the market engine.
+this module double as an independent oracle for the market engine — and
+for the batched :mod:`repro.sweep` kernels built on top of it.
+
+Both functions return :class:`~repro.market.outcomes.OutcomeStats`; the
+old ``FastOutcome`` name is a deprecated alias for it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
 from ..errors import MarketError
+from .outcomes import OutcomeStats
 
 __all__ = ["FastOutcome", "fast_onetime_outcome", "fast_persistent_outcome"]
 
 
-@dataclass(frozen=True)
-class FastOutcome:
-    """Mirror of the :class:`~repro.market.simulator.JobOutcome` fields a
-    persistent sweep needs."""
-
-    completed: bool
-    cost: float
-    completion_time: float  #: NaN when not completed
-    running_time: float
-    idle_time: float
-    recovery_time_used: float
-    interruptions: int
+def __getattr__(name: str):
+    if name == "FastOutcome":
+        warnings.warn(
+            "FastOutcome is deprecated; use repro.market.OutcomeStats "
+            "(same fields, shared by all simulation backends)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return OutcomeStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def fast_persistent_outcome(
@@ -41,7 +44,7 @@ def fast_persistent_outcome(
     work: float,
     recovery_time: float,
     slot_length: float,
-) -> FastOutcome:
+) -> OutcomeStats:
     """Simulate one persistent request over ``prices`` (one per slot).
 
     The request is submitted at slot 0; each slot it runs if
@@ -63,7 +66,7 @@ def fast_persistent_outcome(
     accepted = prices <= bid
     accepted_idx = np.flatnonzero(accepted)
     if accepted_idx.size == 0:
-        return FastOutcome(
+        return OutcomeStats(
             completed=False,
             cost=0.0,
             completion_time=float("nan"),
@@ -77,7 +80,6 @@ def fast_persistent_outcome(
     # the request had already launched (interruptions happen only after
     # the first launch).
     gaps = np.diff(accepted_idx) > 1
-    interruptions_total = int(gaps.sum())
     resume_positions = set((np.flatnonzero(gaps) + 1).tolist())
 
     work_remaining = float(work)
@@ -123,16 +125,24 @@ def fast_persistent_outcome(
             np.searchsorted(accepted_idx, last_slot_simulated, side="right")
         )
         idle = (slots_elapsed - accepted_before_end) * slot_length
+        interruptions = interruptions_seen
     else:
         idle = (prices.size - accepted_idx.size) * slot_length
-    return FastOutcome(
+        # The engine counts an interruption at every out-bid of a running
+        # request — including the trailing knock-back when the trace ends
+        # on rejected slots — so an incomplete run carries one more
+        # interruption than it has resumes unless the trace's final slot
+        # was accepted.
+        trailing = 1 if int(accepted_idx[-1]) < prices.size - 1 else 0
+        interruptions = interruptions_seen + trailing
+    return OutcomeStats(
         completed=completed,
         cost=cost,
         completion_time=completion_time,
         running_time=running,
         idle_time=idle,
         recovery_time_used=recovery_used,
-        interruptions=interruptions_seen if completed else interruptions_total,
+        interruptions=interruptions,
     )
 
 
@@ -141,7 +151,7 @@ def fast_onetime_outcome(
     bid: float,
     work: float,
     slot_length: float,
-) -> FastOutcome:
+) -> OutcomeStats:
     """Simulate one one-time request over ``prices``.
 
     Pends until first accepted, then runs until completion or the first
@@ -159,7 +169,7 @@ def fast_onetime_outcome(
     accepted = prices <= bid
     accepted_idx = np.flatnonzero(accepted)
     if accepted_idx.size == 0:
-        return FastOutcome(
+        return OutcomeStats(
             completed=False, cost=0.0, completion_time=float("nan"),
             running_time=0.0, idle_time=prices.size * slot_length,
             recovery_time_used=0.0, interruptions=0,
@@ -184,7 +194,7 @@ def fast_onetime_outcome(
             completed = True
             completion_time = slot * slot_length + used
             break
-    return FastOutcome(
+    return OutcomeStats(
         completed=completed,
         cost=cost,
         completion_time=completion_time,

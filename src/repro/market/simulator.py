@@ -29,6 +29,7 @@ from ..errors import MarketError
 from .billing import BillingPolicy, PerSlotBilling
 from .events import EventKind, EventLog, MarketEvent
 from .instance import advance_request, cancel_request
+from .outcomes import OutcomeStats
 from .price_sources import PriceSource
 from .requests import RequestState, SpotRequest
 
@@ -66,6 +67,22 @@ class JobOutcome:
         if self.running_time <= 0.0:
             return 0.0
         return self.cost / self.running_time
+
+    def to_stats(self) -> OutcomeStats:
+        """Project onto the backend-independent
+        :class:`~repro.market.outcomes.OutcomeStats` record (the type the
+        fastpath oracle and the sweep kernels return)."""
+        return OutcomeStats(
+            completed=self.completed,
+            cost=self.cost,
+            completion_time=(
+                self.completion_time if self.completion_time is not None else math.nan
+            ),
+            running_time=self.running_time,
+            idle_time=self.idle_time,
+            recovery_time_used=self.recovery_time_used,
+            interruptions=self.interruptions,
+        )
 
     def stats(self) -> CompletionStats:
         """Convert to the mutable :class:`CompletionStats` used by

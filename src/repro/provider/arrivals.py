@@ -62,6 +62,10 @@ class ArrivalProcess(abc.ABC):
         """Vectorized :meth:`pdf`; subclasses may override for speed."""
         return np.asarray([self.pdf(float(v)) for v in np.asarray(values)])
 
+    def cdf_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cdf`; subclasses may override for speed."""
+        return np.asarray([self.cdf(float(v)) for v in np.asarray(values)])
+
 
 class ParetoArrivals(ArrivalProcess):
     """Pareto arrivals: ``f_Λ(x) = α·x_min^α / x^(α+1)`` for ``x >= x_min``.
@@ -98,6 +102,13 @@ class ParetoArrivals(ArrivalProcess):
         if value <= self.minimum:
             return 0.0
         return 1.0 - (self.minimum / value) ** self.alpha
+
+    def cdf_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        out = np.zeros_like(values)
+        mask = values > self.minimum
+        out[mask] = 1.0 - (self.minimum / values[mask]) ** self.alpha
+        return out
 
     def ppf(self, quantile: float) -> float:
         if math.isnan(quantile):

@@ -41,6 +41,9 @@ __all__ = [
     "pareto_model_with_atom",
 ]
 
+#: Fixed Gauss–Legendre rule used by the vectorized partial expectation.
+_GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(24)
+
 
 def price_from_arrivals(
     arrivals: float, beta: float, theta: float, pi_bar: float
@@ -169,6 +172,74 @@ class EquilibriumPriceModel(PriceDistribution):
             return self.upper
         lam = self.arrivals.ppf(quantile)
         return self.h(lam)
+
+    def cdf_array(self, prices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cdf` (used by the candidate-scan optimizers)."""
+        prices = np.asarray(prices, dtype=float)
+        out = np.empty(prices.shape)
+        flat = prices.reshape(-1)
+        res = np.empty(flat.shape)
+        below = flat < self.lower
+        above = flat >= self.upper
+        mid = ~below & ~above
+        res[below] = 0.0
+        res[above] = 1.0
+        if mid.any():
+            lam = np.maximum(
+                0.0,
+                self.theta * (self.beta / (self.pi_bar - 2.0 * flat[mid]) - 1.0),
+            )
+            res[mid] = self.arrivals.cdf_array(lam)
+        out.reshape(-1)[:] = res
+        return out
+
+    def _price_space_integrand(self, x: np.ndarray) -> np.ndarray:
+        """``x·f_π(x)`` (jacobian convention) — the partial-expectation
+        integrand after the change of variables ``x = h(Λ)``."""
+        lam = np.maximum(
+            0.0, self.theta * (self.beta / (self.pi_bar - 2.0 * x) - 1.0)
+        )
+        jac = 2.0 * self.theta * self.beta / (self.pi_bar - 2.0 * x) ** 2
+        return x * self.arrivals.pdf_array(lam) * jac
+
+    def partial_expectation_array(self, prices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`partial_expectation`.
+
+        One composite Gauss–Legendre pass over the price support replaces
+        a per-price adaptive ``quad`` from the support bottom — the
+        difference between O(n) and O(n²) integrand work when scanning a
+        candidate grid.  Values agree with the scalar method to quadrature
+        accuracy (~1e-10 relative), not bitwise.
+        """
+        prices = np.asarray(prices, dtype=float)
+        flat = prices.reshape(-1)
+        res = np.full(flat.shape, self.lower * self.floor_mass)
+        res[flat < self.lower] = 0.0
+        hi = np.minimum(flat, self.upper)
+        active = (flat >= self.lower) & (hi > self.lower)
+        if active.any():
+            targets = np.unique(hi[active])
+            # Segment edges: every query point, refined with a uniform
+            # grid so wide gaps between queries stay well resolved.
+            edges = np.union1d(
+                targets, np.linspace(self.lower, float(targets.max()), 257)
+            )
+            edges = edges[edges >= self.lower]
+            if edges[0] > self.lower:
+                edges = np.concatenate([[self.lower], edges])
+            a, b = edges[:-1], edges[1:]
+            half = 0.5 * (b - a)
+            mid = 0.5 * (a + b)
+            x = mid[:, None] + half[:, None] * _GL_NODES[None, :]
+            w = half[:, None] * _GL_WEIGHTS[None, :]
+            segments = (self._price_space_integrand(x.reshape(-1)).reshape(x.shape) * w).sum(
+                axis=1
+            )
+            cumulative = np.concatenate([[0.0], np.cumsum(segments)])
+            integral_at = cumulative[np.searchsorted(edges, targets)]
+            lookup = np.searchsorted(targets, hi[active])
+            res[active] = self.lower * self.floor_mass + integral_at[lookup]
+        return res.reshape(prices.shape)
 
     def partial_expectation(self, price: float) -> float:
         if price < self.lower:

@@ -1,0 +1,36 @@
+"""Batched bid sweeps: grids of bids × stacks of traces in one shot.
+
+This package is the scaling substrate over the scalar
+:mod:`repro.market.fastpath` oracle:
+
+* :mod:`repro.sweep.kernels` — slot-batched NumPy kernels, bitwise
+  identical to the oracle, vectorized over the bid (and trace) axes.
+* :mod:`repro.sweep.engine` — :func:`run_sweep` front door with ragged
+  trace stacking, per-trace start slots, paired bids and optional
+  ``concurrent.futures`` fan-out.
+* :mod:`repro.sweep.report` — :class:`SweepReport` per-cell arrays plus
+  :class:`SweepCounters` (slots simulated, kernel seconds, cache hits).
+* :mod:`repro.sweep.cache` — memoized ``EmpiricalPriceDistribution``
+  construction shared by the client and CLI layers.
+"""
+
+from .cache import (
+    cached_distribution,
+    clear_distribution_cache,
+    distribution_cache_stats,
+)
+from .engine import map_traces, run_sweep
+from .kernels import onetime_sweep_kernel, persistent_sweep_kernel
+from .report import SweepCounters, SweepReport
+
+__all__ = [
+    "cached_distribution",
+    "clear_distribution_cache",
+    "distribution_cache_stats",
+    "map_traces",
+    "run_sweep",
+    "onetime_sweep_kernel",
+    "persistent_sweep_kernel",
+    "SweepCounters",
+    "SweepReport",
+]

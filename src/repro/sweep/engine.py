@@ -1,0 +1,274 @@
+"""The batched backtest engine: grids of bids × stacks of traces.
+
+:func:`run_sweep` is the front door.  It normalizes heterogeneous trace
+inputs (histories, arrays, ragged lengths, per-trace start slots) into a
+padded price matrix, dispatches to the slot-batched kernels in
+:mod:`repro.sweep.kernels` — optionally fanning traces out over a
+``concurrent.futures`` executor — and assembles a
+:class:`~repro.sweep.report.SweepReport` whose cells are bitwise
+identical to the scalar :mod:`repro.market.fastpath` oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+from ..core.types import JobSpec, Strategy, normalize_strategy
+from ..errors import MarketError
+from . import cache as _cache
+from .kernels import onetime_sweep_kernel, persistent_sweep_kernel
+from .report import SweepCounters, SweepReport
+
+__all__ = ["map_traces", "run_sweep"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Result keys copied from a kernel dict into the report, in field order.
+_FIELDS = (
+    "completed",
+    "cost",
+    "completion_time",
+    "running_time",
+    "idle_time",
+    "recovery_time_used",
+    "interruptions",
+)
+
+
+def _trace_prices(trace: object) -> np.ndarray:
+    """Extract a 1-D float price array from a history or array-like."""
+    prices = np.asarray(getattr(trace, "prices", trace), dtype=float)
+    if prices.ndim != 1 or prices.size == 0:
+        raise MarketError("each trace must be a non-empty 1-D price array")
+    return prices
+
+
+def _stack_traces(
+    traces: Union[object, Sequence[object]],
+    start_slots: Union[int, Sequence[int]],
+):
+    """Slice, pad and stack traces into ``(matrix, n_valid)``.
+
+    Ragged rows (different lengths or start slots) are padded with
+    ``+inf`` — never accepted by any finite bid — and their true lengths
+    recorded in ``n_valid``.
+    """
+    if hasattr(traces, "prices") or (
+        isinstance(traces, np.ndarray) and traces.ndim == 1
+    ):
+        traces = [traces]
+    rows: List[np.ndarray] = []
+    seq = list(traces)
+    if not seq:
+        raise MarketError("need at least one trace to sweep")
+    if isinstance(start_slots, (int, np.integer)):
+        starts = [int(start_slots)] * len(seq)
+    else:
+        starts = [int(s) for s in start_slots]
+        if len(starts) != len(seq):
+            raise MarketError(
+                f"start_slots has {len(starts)} entries for {len(seq)} traces"
+            )
+    for trace, start in zip(seq, starts):
+        prices = _trace_prices(trace)
+        if not 0 <= start < prices.size:
+            raise MarketError(
+                f"start_slot {start} out of range for a {prices.size}-slot trace"
+            )
+        rows.append(prices[start:])
+    n_valid = np.asarray([row.size for row in rows], dtype=np.int64)
+    width = int(n_valid.max())
+    matrix = np.full((len(rows), width), np.inf)
+    for i, row in enumerate(rows):
+        matrix[i, : row.size] = row
+    return matrix, n_valid
+
+
+def _slot_length_of(traces: Union[object, Sequence[object]], job: JobSpec) -> None:
+    """Reject histories whose slot length disagrees with the job's."""
+    seq = [traces] if hasattr(traces, "prices") else traces
+    try:
+        iterator: Iterable[object] = iter(seq)  # type: ignore[arg-type]
+    except TypeError:
+        return
+    for trace in iterator:
+        slot = getattr(trace, "slot_length", None)
+        if slot is not None and slot != job.slot_length:
+            raise MarketError(
+                f"trace slot length {slot!r} differs from the job's "
+                f"slot length {job.slot_length!r}"
+            )
+
+
+def map_traces(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> List[_R]:
+    """Apply ``fn`` over ``items``, optionally on an executor, preserving
+    order.  ``max_workers=None`` (or fewer than two items) runs serially;
+    ``executor`` chooses ``"thread"`` or ``"process"`` fan-out.
+
+    This is the trace-level fan-out primitive shared by :func:`run_sweep`
+    and the repetition loops of the heavier experiments (e.g. the
+    MapReduce cluster backtests, which cannot be expressed as
+    single-request kernels).
+    """
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if executor == "thread":
+        pool_cls = ThreadPoolExecutor
+    elif executor == "process":
+        pool_cls = ProcessPoolExecutor
+    else:
+        raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+    with pool_cls(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def _run_kernel_chunk(args):
+    """Top-level (picklable) kernel dispatcher for executor fan-out."""
+    strategy_value, prices, bids, n_valid, work, recovery_time, slot_length = args
+    if Strategy(strategy_value) is Strategy.ONE_TIME:
+        return onetime_sweep_kernel(
+            prices, bids, work=work, slot_length=slot_length, n_valid=n_valid
+        )
+    return persistent_sweep_kernel(
+        prices,
+        bids,
+        work=work,
+        recovery_time=recovery_time,
+        slot_length=slot_length,
+        n_valid=n_valid,
+    )
+
+
+def run_sweep(
+    traces: Union[object, Sequence[object]],
+    bids: Union[float, Sequence[float], np.ndarray],
+    job: JobSpec,
+    *,
+    strategy: Union[Strategy, str] = Strategy.PERSISTENT,
+    start_slots: Union[int, Sequence[int]] = 0,
+    pair_bids: bool = False,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> SweepReport:
+    """Evaluate a grid of bids against a stack of price traces in one shot.
+
+    Parameters
+    ----------
+    traces:
+        One trace or a sequence of traces — each a
+        :class:`~repro.traces.history.SpotPriceHistory` or a 1-D price
+        array.  Lengths may differ (rows are padded internally).
+    bids:
+        Bid prices in $/hour.  By default every bid is evaluated against
+        every trace (grid mode, cells ``(n_traces, n_bids)``); with
+        ``pair_bids=True``, ``bids[i]`` is evaluated only against
+        ``traces[i]`` (cells ``(n_traces, 1)``).
+    job:
+        The :class:`~repro.core.types.JobSpec` to run in every cell.
+    strategy:
+        ``Strategy.PERSISTENT`` or ``Strategy.ONE_TIME`` — the request
+        kind the kernel simulates.  ``Strategy.PERCENTILE`` is a
+        bid-*selection* heuristic, not an execution kind: compute its bid
+        (e.g. via ``BiddingClient.decide``) and sweep it as PERSISTENT.
+    start_slots:
+        Slot offset(s) applied per trace before simulation.
+    max_workers / executor:
+        Optional trace-level fan-out via ``concurrent.futures``
+        (``"thread"`` or ``"process"``).
+
+    Returns
+    -------
+    SweepReport
+        Per-cell outcome arrays, bitwise identical to the fastpath
+        oracle, plus work/cache counters.
+    """
+    strategy = normalize_strategy(strategy)
+    if strategy is Strategy.PERCENTILE:
+        raise ValueError(
+            "Strategy.PERCENTILE selects a bid; compute it first and sweep "
+            "the resulting price with Strategy.PERSISTENT"
+        )
+    _slot_length_of(traces, job)
+    matrix, n_valid = _stack_traces(traces, start_slots)
+    n_traces = matrix.shape[0]
+
+    bid_values = np.atleast_1d(np.asarray(bids, dtype=float))
+    if pair_bids:
+        if bid_values.shape != (n_traces,):
+            raise MarketError(
+                f"pair_bids=True needs one bid per trace; got {bid_values.shape} "
+                f"for {n_traces} traces"
+            )
+        kernel_bids: np.ndarray = bid_values[:, None]
+    else:
+        if bid_values.ndim != 1:
+            raise MarketError("bids must be a scalar or 1-D sequence")
+        kernel_bids = bid_values
+
+    recovery = job.recovery_time if strategy is Strategy.PERSISTENT else 0.0
+    hits0, misses0 = _cache.distribution_cache_stats()
+
+    chunks: List[np.ndarray]
+    if max_workers is not None and max_workers > 1 and n_traces > 1:
+        bounds = np.array_split(np.arange(n_traces), min(max_workers, n_traces))
+        chunks = [idx for idx in bounds if idx.size]
+    else:
+        chunks = [np.arange(n_traces)]
+
+    args = []
+    for idx in chunks:
+        chunk_bids = kernel_bids[idx] if pair_bids else kernel_bids
+        args.append(
+            (
+                strategy.value,
+                matrix[idx],
+                chunk_bids,
+                n_valid[idx],
+                job.execution_time,
+                recovery,
+                job.slot_length,
+            )
+        )
+
+    started = time.perf_counter()
+    results = map_traces(
+        _run_kernel_chunk, args, max_workers=max_workers, executor=executor
+    )
+    kernel_seconds = time.perf_counter() - started
+
+    merged = {
+        key: np.concatenate([r[key] for r in results], axis=0) for key in _FIELDS
+    }
+    slots = int(sum(r["slots_simulated"] for r in results))
+    hits1, misses1 = _cache.distribution_cache_stats()
+    counters = SweepCounters(
+        n_traces=n_traces,
+        n_bids=int(kernel_bids.shape[-1]) if not pair_bids else 1,
+        slots_simulated=slots,
+        kernel_seconds=kernel_seconds,
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+    )
+    return SweepReport(
+        strategy=strategy,
+        bids=bid_values,
+        completed=merged["completed"],
+        cost=merged["cost"],
+        completion_time=merged["completion_time"],
+        running_time=merged["running_time"],
+        idle_time=merged["idle_time"],
+        recovery_time_used=merged["recovery_time_used"],
+        interruptions=merged["interruptions"],
+        counters=counters,
+    )

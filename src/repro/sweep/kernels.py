@@ -1,0 +1,266 @@
+"""Slot-batched backtest kernels vectorized over bids and traces.
+
+Each kernel replays the scalar :mod:`repro.market.fastpath` oracle over a
+whole ``(trace, bid)`` grid at once: the per-slot state lives in
+``(n_traces, n_bids)`` arrays and every slot performs the *same*
+elementwise float operations, in the same order, as the scalar
+accumulation — so the resulting costs are **bitwise identical** to the
+oracle (and therefore to the full market engine up to its tested
+tolerance).  That property is load-bearing: the equivalence tests compare
+cells with ``==``, not ``isclose``.
+
+Design notes
+------------
+* The slot loop stays in Python; only the per-slot state update is
+  vectorized.  Pairwise-summing reductions (``np.sum``/``cumsum``) would
+  change the floating-point result and break bitwise equality.
+* Trace stacks may be ragged: pad rows with ``+inf`` (never accepted)
+  and pass the true lengths via ``n_valid``.
+* Lanes whose bid never beats any price are resolved in closed form and
+  excluded from the loop; the loop exits early once every lane that can
+  finish has finished.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import MarketError
+
+__all__ = ["onetime_sweep_kernel", "persistent_sweep_kernel"]
+
+#: Work below this threshold counts as complete (same epsilon as the
+#: scalar oracle and the market engine).
+_EPS = 1e-12
+
+
+def _prepare(
+    prices: np.ndarray,
+    bids: np.ndarray,
+    n_valid: Optional[np.ndarray],
+):
+    """Validate and broadcast kernel inputs.
+
+    Returns ``(prices, bids2, n_valid, accepted_total)`` where ``bids2``
+    has shape ``(1, B)`` or ``(T, B)`` and ``accepted_total[t, b]`` counts
+    the accepted slots of lane ``(t, b)`` over the valid trace.
+    """
+    prices = np.asarray(prices, dtype=float)
+    if prices.ndim == 1:
+        prices = prices[None, :]
+    if prices.ndim != 2 or prices.shape[1] == 0 or prices.shape[0] == 0:
+        raise MarketError("prices must be a non-empty (n_traces, n_slots) array")
+    n_traces, n_slots = prices.shape
+
+    bids = np.asarray(bids, dtype=float)
+    if bids.ndim == 0:
+        bids = bids[None]
+    if bids.ndim == 1:
+        bids2 = bids[None, :]
+    elif bids.ndim == 2:
+        if bids.shape[0] != n_traces:
+            raise MarketError(
+                f"per-trace bids must have {n_traces} rows, got {bids.shape[0]}"
+            )
+        bids2 = bids
+    else:
+        raise MarketError("bids must be scalar, 1-D, or (n_traces, n_bids)")
+    if bids2.shape[1] == 0:
+        raise MarketError("bids must be non-empty")
+    if np.any(bids2 < 0) or not np.all(np.isfinite(bids2)):
+        raise MarketError("bids must be non-negative and finite")
+
+    if n_valid is None:
+        n_valid = np.full(n_traces, n_slots, dtype=np.int64)
+    else:
+        n_valid = np.asarray(n_valid, dtype=np.int64)
+        if n_valid.shape != (n_traces,):
+            raise MarketError(f"n_valid must have shape ({n_traces},)")
+        if np.any(n_valid <= 0) or np.any(n_valid > n_slots):
+            raise MarketError("n_valid entries must be in [1, n_slots]")
+
+    # Total accepted slots per lane, from each trace's sorted valid prices.
+    accepted_total = np.empty((n_traces, bids2.shape[1]), dtype=np.int64)
+    for t in range(n_traces):
+        row = np.sort(prices[t, : n_valid[t]])
+        lane_bids = bids2[0] if bids2.shape[0] == 1 else bids2[t]
+        accepted_total[t] = np.searchsorted(row, lane_bids, side="right")
+    return prices, bids2, n_valid, accepted_total
+
+
+def persistent_sweep_kernel(
+    prices: np.ndarray,
+    bids: np.ndarray,
+    *,
+    work: float,
+    recovery_time: float,
+    slot_length: float,
+    n_valid: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Batched :func:`~repro.market.fastpath.fast_persistent_outcome`.
+
+    Parameters mirror the scalar oracle; ``prices`` is ``(T, S)`` (ragged
+    rows padded with ``+inf``), ``bids`` is ``(B,)`` for a full grid or
+    ``(T, B)`` for per-trace bids.  Returns a dict of ``(T, B)`` arrays:
+    ``completed, cost, completion_time, running_time, idle_time,
+    recovery_time_used, interruptions`` plus the scalar
+    ``slots_simulated`` loop count.
+    """
+    if work <= 0 or recovery_time < 0 or slot_length <= 0:
+        raise MarketError(
+            f"invalid parameters: work={work!r} "
+            f"recovery_time={recovery_time!r} slot_length={slot_length!r}"
+        )
+    prices, bids2, n_valid, accepted_total = _prepare(prices, bids, n_valid)
+    n_traces, n_slots = prices.shape
+    n_bids = bids2.shape[1]
+    shape = (n_traces, n_bids)
+
+    work_remaining = np.full(shape, float(work))
+    pending_recovery = np.zeros(shape)
+    cost = np.zeros(shape)
+    running = np.zeros(shape)
+    recovery_used = np.zeros(shape)
+    interruptions = np.zeros(shape, dtype=np.int64)
+    accepted_seen = np.zeros(shape, dtype=np.int64)
+    completion_time = np.full(shape, np.nan)
+    completed = np.zeros(shape, dtype=bool)
+    launched = np.zeros(shape, dtype=bool)
+    last_accepted = np.full(shape, -1, dtype=np.int64)
+
+    alive = accepted_total > 0  # lanes that ever run at all
+    max_slot = int(n_valid.max())
+    slots_simulated = 0
+    for s in range(max_slot):
+        if np.all(completed | ~alive):
+            break
+        slots_simulated += 1
+        col = prices[:, s][:, None]  # (T, 1); padded rows hold +inf
+        acc = (col <= bids2) & ~completed
+        if not acc.any():
+            continue
+        resume = acc & launched & (last_accepted < s - 1)
+        pending_recovery[resume] = recovery_time
+        interruptions[resume] += 1
+
+        # One slot of the scalar oracle, elementwise and in the same order.
+        m1 = acc & (pending_recovery > 0.0)
+        step1 = np.where(m1, np.minimum(pending_recovery, slot_length), 0.0)
+        pending_recovery = pending_recovery - step1
+        recovery_used = recovery_used + step1
+        budget = slot_length - step1
+        used = step1
+        m2 = acc & (budget > 0.0) & (work_remaining > 0.0)
+        step2 = np.where(m2, np.minimum(work_remaining, budget), 0.0)
+        work_remaining = work_remaining - step2
+        used = used + step2
+        used = np.where(acc & (work_remaining > _EPS), slot_length, used)
+        safe_col = np.where(np.isfinite(col), col, 0.0)
+        cost = np.where(acc, cost + safe_col * used, cost)
+        running = np.where(acc, running + used, running)
+
+        finished = acc & (work_remaining <= _EPS)
+        completion_time = np.where(finished, s * slot_length + used, completion_time)
+        completed = completed | finished
+        launched = launched | acc
+        last_accepted = np.where(acc, s, last_accepted)
+        accepted_seen = accepted_seen + acc
+
+    # Completed lanes: idle covers rejected slots up to the completion slot.
+    idle = np.where(
+        completed,
+        (last_accepted + 1 - accepted_seen) * slot_length,
+        (n_valid[:, None] - accepted_total) * slot_length,
+    )
+    # Incomplete lanes also carry the trailing knock-back interruption the
+    # engine reports when the trace ends on rejected slots.
+    trailing = (~completed) & launched & (last_accepted < n_valid[:, None] - 1)
+    interruptions = interruptions + trailing.astype(np.int64)
+    return {
+        "completed": completed,
+        "cost": cost,
+        "completion_time": completion_time,
+        "running_time": running,
+        "idle_time": idle,
+        "recovery_time_used": recovery_used,
+        "interruptions": interruptions,
+        "slots_simulated": slots_simulated * n_traces,
+    }
+
+
+def onetime_sweep_kernel(
+    prices: np.ndarray,
+    bids: np.ndarray,
+    *,
+    work: float,
+    slot_length: float,
+    n_valid: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Batched :func:`~repro.market.fastpath.fast_onetime_outcome`.
+
+    Same conventions as :func:`persistent_sweep_kernel`; one-time lanes
+    pend until first accepted, run until out-bid (terminal) or complete.
+    """
+    if work <= 0 or slot_length <= 0:
+        raise MarketError(
+            f"invalid parameters: work={work!r} slot_length={slot_length!r}"
+        )
+    prices, bids2, n_valid, accepted_total = _prepare(prices, bids, n_valid)
+    n_traces, n_slots = prices.shape
+    n_bids = bids2.shape[1]
+    shape = (n_traces, n_bids)
+
+    work_remaining = np.full(shape, float(work))
+    cost = np.zeros(shape)
+    running = np.zeros(shape)
+    completion_time = np.full(shape, np.nan)
+    completed = np.zeros(shape, dtype=bool)
+    started = np.zeros(shape, dtype=bool)
+    dead = np.zeros(shape, dtype=bool)  # out-bid after starting (terminal)
+    start_slot = np.zeros(shape, dtype=np.int64)
+
+    alive = accepted_total > 0
+    max_slot = int(n_valid.max())
+    slots_simulated = 0
+    for s in range(max_slot):
+        if np.all(completed | dead | ~alive):
+            break
+        slots_simulated += 1
+        col = prices[:, s][:, None]
+        acc = col <= bids2
+        starting = acc & ~started
+        start_slot = np.where(starting, s, start_slot)
+        run = (started | starting) & ~completed & ~dead
+        dead = dead | (run & ~acc)
+        started = started | starting
+        run_now = run & acc
+        if not run_now.any():
+            continue
+        used = np.minimum(work_remaining, slot_length)
+        used = np.where(work_remaining > slot_length + _EPS, slot_length, used)
+        safe_col = np.where(np.isfinite(col), col, 0.0)
+        cost = np.where(run_now, cost + safe_col * used, cost)
+        running = np.where(run_now, running + used, running)
+        work_remaining = np.where(run_now, work_remaining - used, work_remaining)
+        finished = run_now & (work_remaining <= _EPS)
+        completion_time = np.where(finished, s * slot_length + used, completion_time)
+        completed = completed | finished
+
+    idle = np.where(
+        started,
+        start_slot * slot_length,
+        n_valid[:, None] * slot_length,
+    )
+    zeros = np.zeros(shape)
+    return {
+        "completed": completed,
+        "cost": cost,
+        "completion_time": completion_time,
+        "running_time": running,
+        "idle_time": idle,
+        "recovery_time_used": zeros,
+        "interruptions": np.zeros(shape, dtype=np.int64),
+        "slots_simulated": slots_simulated * n_traces,
+    }

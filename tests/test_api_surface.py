@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.extensions",
     "repro.experiments",
+    "repro.sweep",
 ]
 
 MODULES = [
@@ -44,7 +45,12 @@ MODULES = [
     "repro.market.simulator",
     "repro.market.billing",
     "repro.market.fastpath",
+    "repro.market.outcomes",
     "repro.market.price_sources",
+    "repro.sweep.cache",
+    "repro.sweep.engine",
+    "repro.sweep.kernels",
+    "repro.sweep.report",
     "repro.mapreduce.runner",
     "repro.mapreduce.tasks",
     "repro.extensions.risk",
@@ -95,6 +101,19 @@ def test_root_exports_cover_the_quickstart():
     ):
         assert symbol in repro.__all__
         assert hasattr(repro, symbol)
+
+
+def test_root_exports_cover_the_sweep_layer():
+    """Regression: the sweep engine and Strategy enum stay re-exported."""
+    import repro
+
+    for symbol in (
+        "Strategy", "normalize_strategy", "OutcomeStats",
+        "run_sweep", "SweepReport", "SweepCounters",
+    ):
+        assert symbol in repro.__all__
+        assert hasattr(repro, symbol)
+    assert repro.run_sweep is repro.sweep.run_sweep
 
 
 def test_version_is_set():

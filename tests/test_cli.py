@@ -79,6 +79,23 @@ class TestBacktest:
         assert "savings" in out
 
 
+class TestSweep:
+    def test_grid_over_futures(self, trace_file, future_file, capsys):
+        assert main(["sweep", str(trace_file), str(future_file),
+                     "--bids", "5", "--strategy", "persistent"]) == 0
+        out = capsys.readouterr().out
+        assert "5 bids" in out
+        assert "best bid" in out
+
+    def test_rejects_bad_grid(self, trace_file, future_file, capsys):
+        assert main(["sweep", str(trace_file), str(future_file),
+                     "--bids", "0"]) == 1
+        assert "--bids" in capsys.readouterr().err
+        assert main(["sweep", str(trace_file), str(future_file),
+                     "--low", "0.2", "--high", "0.1"]) == 1
+        assert "--high" in capsys.readouterr().err
+
+
 class TestCatalog:
     def test_lists_types(self, capsys):
         assert main(["catalog"]) == 0

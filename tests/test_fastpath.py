@@ -64,14 +64,38 @@ class TestEquivalence:
             fast.recovery_time_used, slow.recovery_time_used,
             rel_tol=1e-9, abs_tol=1e-12,
         )
+        # Interruptions and idle time must agree on *incomplete* runs too:
+        # the engine counts the trailing knock-back when the trace ends on
+        # rejected slots, and the fast path mirrors that.
+        assert fast.interruptions == slow.interruptions
+        assert math.isclose(
+            fast.idle_time, slow.idle_time, rel_tol=1e-9, abs_tol=1e-12
+        )
         if fast.completed:
             assert math.isclose(
                 fast.completion_time, slow.completion_time, rel_tol=1e-9
             )
-            assert fast.interruptions == slow.interruptions
-            assert math.isclose(
-                fast.idle_time, slow.idle_time, rel_tol=1e-9, abs_tol=1e-12
-            )
+
+    def test_incomplete_run_counts_trailing_interruption(self):
+        # Accepted at slots 0-1, out-bid from slot 2 to the end: the job
+        # is knocked back once and never resumes, so exactly one
+        # interruption is incurred before the trace ends.
+        prices = np.asarray([0.02, 0.02, 0.2, 0.2, 0.2])
+        fast = fast_persistent_outcome(
+            prices, bid=0.05, work=10.0, recovery_time=TK, slot_length=TK
+        )
+        slow = engine_outcome(prices, bid=0.05, work=10.0, recovery=TK)
+        assert not fast.completed
+        assert fast.interruptions == slow.interruptions == 1
+
+    def test_incomplete_run_ending_on_accepted_slot_has_no_trailing(self):
+        prices = np.asarray([0.02, 0.2, 0.02, 0.02])
+        fast = fast_persistent_outcome(
+            prices, bid=0.05, work=10.0, recovery_time=TK, slot_length=TK
+        )
+        slow = engine_outcome(prices, bid=0.05, work=10.0, recovery=TK)
+        assert not fast.completed
+        assert fast.interruptions == slow.interruptions == 1
 
     def test_never_accepted(self):
         fast = fast_persistent_outcome(

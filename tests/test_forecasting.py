@@ -90,10 +90,20 @@ class TestForecastBid:
         assert math.isfinite(decision.expected_cost)
 
     def test_onetime_bid_from_forecast(self, r3_history):
+        from repro.core.types import Strategy
+
         job = JobSpec(1.0)
         decision = forecast_bid(
-            EwmaForecaster(), r3_history, job, strategy="one-time"
+            EwmaForecaster(), r3_history, job, strategy=Strategy.ONE_TIME
         )
+        assert decision.kind is BidKind.ONE_TIME
+
+    def test_legacy_string_strategy_still_works(self, r3_history):
+        job = JobSpec(1.0)
+        with pytest.warns(DeprecationWarning):
+            decision = forecast_bid(
+                EwmaForecaster(), r3_history, job, strategy="one-time"
+            )
         assert decision.kind is BidKind.ONE_TIME
 
     def test_unknown_strategy(self, r3_history, hour_job):
