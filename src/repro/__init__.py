@@ -42,6 +42,7 @@ from .core import (
     BiddingClient,
     BidKind,
     BidRunReport,
+    DegradedDecision,
     EmpiricalPriceDistribution,
     FleetPlan,
     JobSpec,
@@ -65,15 +66,34 @@ from .core import (
 from .errors import (
     CatalogError,
     DistributionError,
+    FaultError,
     FittingError,
     InfeasibleBidError,
     MarketError,
     PlanError,
     ReproError,
+    SweepExecutionError,
     TraceError,
 )
 from .market import OutcomeStats, SpotMarket, TracePriceSource
 from .provider import EquilibriumPriceModel, ProviderSimulation
+from .resilience import (
+    BackoffPolicy,
+    ChaosReport,
+    FaultInjector,
+    FaultSpec,
+    FaultyPriceSource,
+    ItemFailure,
+    PricePlateau,
+    PriceSpike,
+    RevocationStorm,
+    SlotDropout,
+    SlotDuplication,
+    SweepJournal,
+    TraceTruncation,
+    default_fault_suite,
+    run_chaos,
+)
 from .sweep import SweepCounters, SweepReport, run_sweep
 from .traces import (
     SpotPriceHistory,
@@ -101,6 +121,7 @@ __all__ = [
     "run_fleet",
     "BidKind",
     "BidRunReport",
+    "DegradedDecision",
     "EmpiricalPriceDistribution",
     "JobSpec",
     "MapReduceJobSpec",
@@ -118,15 +139,32 @@ __all__ = [
     "retrospective_best_price",
     "CatalogError",
     "DistributionError",
+    "FaultError",
     "FittingError",
     "InfeasibleBidError",
     "MarketError",
     "PlanError",
     "ReproError",
+    "SweepExecutionError",
     "TraceError",
     "OutcomeStats",
     "SpotMarket",
     "TracePriceSource",
+    "BackoffPolicy",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyPriceSource",
+    "ItemFailure",
+    "PricePlateau",
+    "PriceSpike",
+    "RevocationStorm",
+    "SlotDropout",
+    "SlotDuplication",
+    "SweepJournal",
+    "TraceTruncation",
+    "default_fault_suite",
+    "run_chaos",
     "SweepCounters",
     "SweepReport",
     "run_sweep",

@@ -14,6 +14,8 @@ Subcommands
 ``describe``   Summarize a trace CSV (floor occupancy, episodes, tail).
 ``options``    Compare on-demand / one-time / persistent / spot-block.
 ``mapreduce``  Plan a master/slave cluster bid (eq. 20).
+``chaos``      Stress a bid under injected market faults and report
+               per-fault-class cost/completion degradation.
 ``catalog``    List the built-in instance types.
 
 Examples
@@ -29,6 +31,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -55,6 +58,49 @@ _EXPERIMENTS = (
     "fig3", "fig4", "table3", "fig5", "fig6", "table4", "fig7", "prop12",
 )
 
+_FAULT_CLASSES = (
+    "spike", "plateau", "dropout", "duplication", "storm", "truncation",
+)
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not (value > 0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type: a finite float greater than or equal to zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not (value >= 0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative number, got {text!r}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-bid`` argument parser."""
@@ -68,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace", help="generate a synthetic price trace")
     p_trace.add_argument("instance_type", help="e.g. r3.xlarge")
-    p_trace.add_argument("--days", type=float, default=60.0)
+    p_trace.add_argument("--days", type=_positive_float, default=60.0)
     p_trace.add_argument(
         "--model",
         choices=("equilibrium", "renewal", "correlated", "provider"),
@@ -79,9 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bid = sub.add_parser("bid", help="compute optimal bids from a trace")
     p_bid.add_argument("trace", help="price-history CSV")
-    p_bid.add_argument("--hours", type=float, default=1.0, help="t_s")
+    p_bid.add_argument("--hours", type=_positive_float, default=1.0, help="t_s")
     p_bid.add_argument(
-        "--recovery-seconds", type=float, default=30.0, help="t_r in seconds"
+        "--recovery-seconds", type=_nonnegative_float, default=30.0,
+        help="t_r in seconds",
     )
     p_bid.add_argument(
         "--ondemand", type=float, default=None,
@@ -107,8 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_back.add_argument("history", help="trace CSV used to compute the bid")
     p_back.add_argument("future", help="trace CSV the bid is executed on")
-    p_back.add_argument("--hours", type=float, default=1.0)
-    p_back.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_back.add_argument("--hours", type=_positive_float, default=1.0)
+    p_back.add_argument("--recovery-seconds", type=_nonnegative_float, default=30.0)
     p_back.add_argument("--ondemand", type=float, default=None)
     p_back.add_argument(
         "--strategy", choices=("one-time", "persistent", "percentile"),
@@ -123,12 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "futures", nargs="+", help="trace CSV(s) the bids are executed on"
     )
-    p_sweep.add_argument("--hours", type=float, default=1.0, help="t_s")
-    p_sweep.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_sweep.add_argument("--hours", type=_positive_float, default=1.0, help="t_s")
+    p_sweep.add_argument("--recovery-seconds", type=_nonnegative_float, default=30.0)
     p_sweep.add_argument(
         "--strategy", choices=("one-time", "persistent"), default="persistent"
     )
-    p_sweep.add_argument("--bids", type=int, default=16,
+    p_sweep.add_argument("--bids", type=_positive_int, default=16,
                          help="number of bid grid points")
     p_sweep.add_argument("--low", type=float, default=None,
                          help="lowest bid (default: history minimum)")
@@ -152,19 +199,53 @@ def build_parser() -> argparse.ArgumentParser:
         "options", help="compare all four purchasing options for a job"
     )
     p_opt.add_argument("trace", help="price-history CSV")
-    p_opt.add_argument("--hours", type=float, default=1.0)
-    p_opt.add_argument("--recovery-seconds", type=float, default=30.0)
+    p_opt.add_argument("--hours", type=_positive_float, default=1.0)
+    p_opt.add_argument("--recovery-seconds", type=_nonnegative_float, default=30.0)
     p_opt.add_argument("--ondemand", type=float, default=None)
 
     p_mr = sub.add_parser("mapreduce", help="plan a MapReduce cluster bid")
     p_mr.add_argument("--master", default="m3.xlarge")
     p_mr.add_argument("--slave", default="c3.4xlarge")
-    p_mr.add_argument("--hours", type=float, default=16.0,
+    p_mr.add_argument("--hours", type=_positive_float, default=16.0,
                       help="total execution time t_s")
-    p_mr.add_argument("--slaves", type=int, default=6, help="slave count M")
-    p_mr.add_argument("--recovery-seconds", type=float, default=30.0)
-    p_mr.add_argument("--overhead-seconds", type=float, default=60.0)
+    p_mr.add_argument("--slaves", type=_positive_int, default=6, help="slave count M")
+    p_mr.add_argument("--recovery-seconds", type=_nonnegative_float, default=30.0)
+    p_mr.add_argument("--overhead-seconds", type=_nonnegative_float, default=60.0)
     p_mr.add_argument("--seed", type=int, default=0)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="stress a bid under injected market faults"
+    )
+    p_chaos.add_argument(
+        "trace", help="price-history CSV (split into history and future)"
+    )
+    p_chaos.add_argument("--hours", type=_positive_float, default=1.0, help="t_s")
+    p_chaos.add_argument(
+        "--recovery-seconds", type=_nonnegative_float, default=30.0
+    )
+    p_chaos.add_argument("--ondemand", type=float, default=None)
+    p_chaos.add_argument(
+        "--strategy", choices=("one-time", "persistent", "percentile"),
+        default="persistent",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--intensity", type=_positive_float, default=1.0,
+        help="how hard each fault class hits (1.0 = default calibration)",
+    )
+    p_chaos.add_argument(
+        "--split", type=_positive_float, default=0.67,
+        help="fraction of the trace used as history; the rest is the "
+        "future the bid is stressed on",
+    )
+    p_chaos.add_argument(
+        "--classes", nargs="+", choices=_FAULT_CLASSES, default=None,
+        help="fault classes to run (default: all)",
+    )
+    p_chaos.add_argument(
+        "--starts", type=_positive_int, default=8,
+        help="number of start slots sampled across the future",
+    )
 
     sub.add_parser("catalog", help="list built-in instance types")
     return parser
@@ -285,8 +366,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     history = trace_io.read_csv(args.history)
     futures = [trace_io.read_csv(path) for path in args.futures]
-    if args.bids < 1:
-        raise ReproError(f"--bids must be at least 1, got {args.bids}")
     low = args.low if args.low is not None else float(history.prices.min())
     high = args.high if args.high is not None else float(history.prices.max())
     if not high >= low:
@@ -398,6 +477,44 @@ def _cmd_mapreduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import run_chaos
+
+    trace = trace_io.read_csv(args.trace)
+    ondemand = _resolve_ondemand(args.ondemand, trace.instance_type)
+    if not args.split < 1.0:
+        raise ReproError(
+            f"--split must be below 1 to leave a future to stress, "
+            f"got {args.split:g}"
+        )
+    split_slot = max(1, min(trace.n_slots - 1, int(trace.n_slots * args.split)))
+    history = trace.slice_slots(0, split_slot)
+    future = trace.slice_slots(split_slot, trace.n_slots)
+    job = JobSpec(
+        execution_time=args.hours,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=trace.slot_length,
+    )
+    report = run_chaos(
+        history,
+        future,
+        job,
+        ondemand_price=ondemand,
+        strategy=Strategy(args.strategy),
+        seed=args.seed,
+        intensity=args.intensity,
+        n_starts=args.starts,
+        classes=args.classes,
+    )
+    print(
+        f"chaos: {len(report.results)} fault class(es) on "
+        f"{future.n_slots} future slots (seed {args.seed}, "
+        f"intensity {args.intensity:g})"
+    )
+    print(report.table())
+    return 0
+
+
 def _cmd_options(args: argparse.Namespace) -> int:
     from .extensions.spot_blocks import compare_purchasing_options
 
@@ -460,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": _cmd_describe,
         "options": _cmd_options,
         "mapreduce": _cmd_mapreduce,
+        "chaos": _cmd_chaos,
         "catalog": _cmd_catalog,
     }
     try:

@@ -38,6 +38,7 @@ from .onetime import optimal_onetime_bid
 from .persistent import optimal_persistent_bid
 from .types import (
     BidDecision,
+    DegradedDecision,
     BidKind,
     CompletionStats,
     CostBreakdown,
@@ -73,6 +74,7 @@ __all__ = [
     "optimal_onetime_bid",
     "optimal_persistent_bid",
     "BidDecision",
+    "DegradedDecision",
     "BidKind",
     "CompletionStats",
     "CostBreakdown",

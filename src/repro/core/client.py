@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from ..errors import MarketError
+from ..errors import InfeasibleBidError, MarketError
 from ..market.price_sources import TracePriceSource
 from ..market.simulator import JobOutcome, SpotMarket
 from ..traces.history import SpotPriceHistory
@@ -21,7 +21,14 @@ from .distributions import EmpiricalPriceDistribution
 from .heuristics import percentile_bid
 from .onetime import optimal_onetime_bid
 from .persistent import optimal_persistent_bid
-from .types import BidDecision, BidKind, JobSpec, Strategy, normalize_strategy
+from .types import (
+    BidDecision,
+    BidKind,
+    DegradedDecision,
+    JobSpec,
+    Strategy,
+    normalize_strategy,
+)
 
 __all__ = ["BidRunReport", "BiddingClient"]
 
@@ -69,6 +76,7 @@ class BiddingClient:
         *,
         strategy: "Strategy | str" = Strategy.PERSISTENT,
         percentile: float = 90.0,
+        degrade: bool = False,
     ) -> BidDecision:
         """Compute a bid for ``job`` with the chosen strategy.
 
@@ -77,17 +85,52 @@ class BiddingClient:
         or ``Strategy.PERCENTILE`` (the Section 7 heuristic baseline,
         using ``percentile``).  Legacy strings are accepted with a
         :class:`DeprecationWarning`.
+
+        With ``degrade=True`` an infeasible optimization (every bid
+        violates the constraints — typical of fault-perturbed price
+        distributions) falls back to the on-demand baseline and returns
+        a :class:`~repro.core.types.DegradedDecision` instead of raising
+        :class:`~repro.errors.InfeasibleBidError`.
         """
         strategy = normalize_strategy(strategy)
-        if strategy is Strategy.ONE_TIME:
-            return optimal_onetime_bid(
-                self.distribution, job, ondemand_price=self.ondemand_price
-            )
-        if strategy is Strategy.PERSISTENT:
-            return optimal_persistent_bid(
-                self.distribution, job, ondemand_price=self.ondemand_price
-            )
-        return percentile_bid(self.distribution, job, percentile=percentile)
+        try:
+            if strategy is Strategy.ONE_TIME:
+                return optimal_onetime_bid(
+                    self.distribution, job, ondemand_price=self.ondemand_price
+                )
+            if strategy is Strategy.PERSISTENT:
+                return optimal_persistent_bid(
+                    self.distribution, job, ondemand_price=self.ondemand_price
+                )
+            return percentile_bid(self.distribution, job, percentile=percentile)
+        except InfeasibleBidError as exc:
+            if not degrade:
+                raise
+            return self.degraded_decision(job, strategy=strategy, reason=str(exc))
+
+    def degraded_decision(
+        self,
+        job: JobSpec,
+        *,
+        strategy: Strategy = Strategy.PERSISTENT,
+        reason: str = "",
+    ) -> DegradedDecision:
+        """The explicit on-demand fallback: bid the on-demand price.
+
+        A bid at ``π̄`` is always accepted in the paper's model (the spot
+        price never exceeds on-demand), so the expected cost is the
+        on-demand baseline and completion is certain.
+        """
+        return DegradedDecision(
+            price=self.ondemand_price,
+            kind=strategy.bid_kind,
+            expected_cost=self.ondemand_cost(job),
+            expected_completion_time=job.execution_time,
+            expected_running_time=job.execution_time,
+            expected_interruptions=0.0,
+            acceptance_probability=1.0,
+            reason=reason,
+        )
 
     # -- execution (Figure 1's "job monitor") ------------------------------
     def execute(

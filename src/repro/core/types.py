@@ -299,6 +299,31 @@ class BidDecision:
                 f"expected_cost must be non-negative and finite, got {self.expected_cost!r}"
             )
 
+    @property
+    def degraded(self) -> bool:
+        """True only on :class:`DegradedDecision` fallbacks."""
+        return False
+
+
+@dataclass(frozen=True)
+class DegradedDecision(BidDecision):
+    """A :class:`BidDecision` produced by graceful degradation.
+
+    When every spot bid is infeasible (e.g. a fault-perturbed
+    distribution violates the interruptibility condition at all
+    admissible prices), the client can fall back to bidding the
+    on-demand baseline instead of raising
+    :class:`~repro.errors.InfeasibleBidError`.  The marker class keeps
+    the fallback explicit: downstream code can branch on
+    ``decision.degraded`` and ``reason`` records what went wrong.
+    """
+
+    reason: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
 
 @dataclass(frozen=True)
 class MapReducePlan:

@@ -45,3 +45,12 @@ class CatalogError(ReproError):
 
 class PlanError(ReproError):
     """A MapReduce bidding plan is inconsistent or infeasible."""
+
+
+class FaultError(ReproError):
+    """A fault-injection spec is invalid or cannot be applied to a trace."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep work item failed permanently (retries exhausted, timeout,
+    or a journal that does not match the sweep being resumed)."""

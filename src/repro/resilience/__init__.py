@@ -1,0 +1,61 @@
+"""Fault injection and resilient execution for large backtests.
+
+The paper's Section 7 experiments assume clean price traces and an
+uninterrupted backtest loop.  This package drops both assumptions:
+
+* :mod:`repro.resilience.faults` — seeded, declarative
+  :class:`FaultSpec` perturbations (price spikes, plateaus, missing and
+  duplicated slots, revocation storms, truncation) composed by a
+  :class:`FaultInjector` that rewrites recorded traces or wraps a live
+  market's price source.
+* :mod:`repro.resilience.execution` — the retry/backoff/journal
+  machinery under :func:`repro.sweep.run_sweep`'s resilient mode:
+  failing work items become structured :class:`ItemFailure` records in a
+  partial report instead of aborting the pool, and a
+  :class:`SweepJournal` lets an interrupted sweep resume without
+  recomputing finished items.
+* :mod:`repro.resilience.chaos` — the ``repro-bid chaos`` harness:
+  backtest one bid under every fault class and report cost/completion
+  degradation relative to the clean run.
+"""
+
+from .chaos import ChaosReport, FaultClassResult, default_fault_suite, run_chaos
+from .execution import (
+    BackoffPolicy,
+    ExecutionResult,
+    ItemFailure,
+    SweepJournal,
+    run_items,
+)
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultyPriceSource,
+    PricePlateau,
+    PriceSpike,
+    RevocationStorm,
+    SlotDropout,
+    SlotDuplication,
+    TraceTruncation,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "ChaosReport",
+    "ExecutionResult",
+    "FaultClassResult",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyPriceSource",
+    "ItemFailure",
+    "PricePlateau",
+    "PriceSpike",
+    "RevocationStorm",
+    "SlotDropout",
+    "SlotDuplication",
+    "SweepJournal",
+    "TraceTruncation",
+    "default_fault_suite",
+    "run_chaos",
+    "run_items",
+]

@@ -1,0 +1,247 @@
+"""The chaos harness: how does a bid degrade under each fault class?
+
+:func:`run_chaos` backtests one bid decision on a clean future trace,
+then re-runs it on copies of the future degraded by each fault class of
+:func:`default_fault_suite`, and reports per-class cost and completion
+deltas.  Because a single short job only overlaps a tiny window of the
+future, each variant is executed from ``n_starts`` start slots spread
+across the trace — faults landing anywhere get sampled — and the report
+carries completion *rates* and *mean* costs over those runs.  Everything
+is a pure function of the root seed, so a chaos run is exactly
+reproducible — the property the acceptance tests (and any CI regression
+gate built on top) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..core.client import BiddingClient
+from ..core.types import JobSpec, Strategy, normalize_strategy
+from ..errors import FaultError
+from ..sweep import run_sweep
+from ..traces.history import SpotPriceHistory
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    PricePlateau,
+    PriceSpike,
+    RevocationStorm,
+    SlotDropout,
+    SlotDuplication,
+    TraceTruncation,
+)
+
+__all__ = [
+    "FaultClassResult",
+    "ChaosReport",
+    "default_fault_suite",
+    "run_chaos",
+]
+
+#: Canonical fault-class order for suites and reports.
+FAULT_CLASSES = (
+    "spike",
+    "plateau",
+    "dropout",
+    "duplication",
+    "storm",
+    "truncation",
+)
+
+
+def default_fault_suite(
+    reference_price: float, *, intensity: float = 1.0
+) -> Dict[str, Tuple[FaultSpec, ...]]:
+    """The standard chaos suite, one entry per fault class.
+
+    ``reference_price`` anchors the "above any sane bid" levels — pass
+    the on-demand price, since no optimal bid exceeds it.  ``intensity``
+    scales how hard each class hits (1.0 is the default calibration for
+    5-minute slots).
+    """
+    if not reference_price > 0:
+        raise FaultError(
+            f"reference_price must be positive, got {reference_price!r}"
+        )
+    if not intensity > 0:
+        raise FaultError(f"intensity must be positive, got {intensity!r}")
+    high = reference_price * (1.0 + 4.0 * intensity)
+    rate = min(1.0, 0.02 * intensity)
+    plateau_slots = max(1, int(round(36 * intensity)))  # 3h of 5-min slots
+    return {
+        "spike": (PriceSpike(rate=rate, magnitude=10.0),),
+        "plateau": (PricePlateau(level=high, duration_slots=plateau_slots),),
+        "dropout": (SlotDropout(rate=min(1.0, 0.05 * intensity)),),
+        "duplication": (SlotDuplication(rate=min(1.0, 0.05 * intensity)),),
+        "storm": (
+            RevocationStorm(
+                level=high, bursts=max(1, int(round(3 * intensity)))
+            ),
+        ),
+        "truncation": (
+            TraceTruncation(fraction=max(0.05, min(1.0, 0.5 / intensity))),
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class FaultClassResult:
+    """Backtest outcome of one fault class versus the clean baseline.
+
+    The job is executed once per start slot (``n_starts`` of them,
+    spread over the first half of the future), so rates and means
+    aggregate over runs whose windows do and do not overlap the faults.
+    """
+
+    name: str
+    #: Fraction of the start slots from which the job completed.
+    completion_rate: float
+    mean_cost: float
+    #: Mean wall-clock completion time over *completed* runs, hours
+    #: (NaN when nothing completed).
+    mean_completion_time: float
+    mean_interruptions: float
+    #: Mean realized cost minus the clean-run mean cost, in dollars.
+    cost_delta: float
+    #: Completion rate minus the clean-run completion rate.
+    completion_delta: float
+    #: Mean completion time minus the clean-run mean, in hours.
+    time_delta: float
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Everything :func:`run_chaos` measured, renderable as a table."""
+
+    strategy: Strategy
+    bid_price: float
+    #: True when the bid itself was an on-demand fallback (DegradedDecision).
+    degraded_bid: bool
+    baseline_completion_rate: float
+    baseline_mean_cost: float
+    baseline_mean_completion_time: float
+    n_starts: int
+    seed: int
+    results: Tuple[FaultClassResult, ...]
+
+    def table(self) -> str:
+        lines = [
+            f"bid ${self.bid_price:.4f}/h ({self.strategy})"
+            + ("  [degraded: on-demand fallback]" if self.degraded_bid else ""),
+            f"clean runs ({self.n_starts} starts): "
+            f"mean cost ${self.baseline_mean_cost:.4f}  "
+            f"mean time {self.baseline_mean_completion_time:.2f}h  "
+            f"completion {self.baseline_completion_rate:.0%}",
+            f"{'fault class':14s} {'done%':>6s} {'cost $':>9s} "
+            f"{'Δcost $':>9s} {'Δdone%':>7s} {'Δtime h':>8s} "
+            f"{'intr':>6s}",
+        ]
+        for r in self.results:
+            lines.append(
+                f"{r.name:14s} {r.completion_rate:6.0%} "
+                f"{r.mean_cost:9.4f} {r.cost_delta:+9.4f} "
+                f"{r.completion_delta:+7.0%} {r.time_delta:+8.2f} "
+                f"{r.mean_interruptions:6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_chaos(
+    history: SpotPriceHistory,
+    future: SpotPriceHistory,
+    job: JobSpec,
+    *,
+    ondemand_price: float,
+    strategy: Union[Strategy, str] = Strategy.PERSISTENT,
+    seed: int = 0,
+    intensity: float = 1.0,
+    n_starts: int = 8,
+    classes: Optional[Sequence[str]] = None,
+    suite: Optional[Dict[str, Tuple[FaultSpec, ...]]] = None,
+) -> ChaosReport:
+    """Measure per-fault-class degradation of one bid decision.
+
+    The bid is computed from ``history`` (falling back to the on-demand
+    baseline if the optimization is infeasible) and executed from
+    ``n_starts`` start slots spread over the first half of the clean
+    ``future``, then again per fault class on a degraded copy of
+    ``future``.  Class ``k`` perturbs with ``FaultInjector(specs,
+    seed=seed).derive(k)``, so the whole report is reproducible from
+    ``seed``.
+    """
+    strategy = normalize_strategy(strategy)
+    if n_starts < 1:
+        raise FaultError(f"n_starts must be >= 1, got {n_starts!r}")
+    if suite is None:
+        suite = default_fault_suite(ondemand_price, intensity=intensity)
+    names = tuple(classes) if classes is not None else tuple(suite)
+    unknown = [n for n in names if n not in suite]
+    if unknown:
+        raise FaultError(
+            f"unknown fault class(es) {unknown!r}; choose from {sorted(suite)}"
+        )
+
+    client = BiddingClient(history, ondemand_price=ondemand_price)
+    decision = client.decide(job, strategy=strategy, degrade=True)
+    exec_strategy = (
+        Strategy.ONE_TIME if strategy is Strategy.ONE_TIME else Strategy.PERSISTENT
+    )
+
+    # Start slots spread over the first half of the future, so every run
+    # keeps at least half the trace as runway.
+    span = max(1, future.n_slots // 2)
+    starts = [(i * span) // n_starts for i in range(n_starts)]
+
+    def mean_outcome(
+        trace: SpotPriceHistory,
+    ) -> Tuple[float, float, float, float]:
+        offsets = [min(s, trace.n_slots - 1) for s in starts]
+        report = run_sweep(
+            [trace] * len(offsets),
+            decision.price,
+            job,
+            strategy=exec_strategy,
+            start_slots=offsets,
+        )
+        done = report.completed[:, 0]
+        times = report.completion_time[:, 0]
+        mean_time = float(times[done].mean()) if done.any() else float("nan")
+        return (
+            float(done.mean()),
+            float(report.cost[:, 0].mean()),
+            mean_time,
+            float(report.interruptions[:, 0].mean()),
+        )
+
+    baseline_rate, baseline_cost, baseline_time, _ = mean_outcome(future)
+
+    results = []
+    for index, name in enumerate(names):
+        injector = FaultInjector(suite[name], seed=seed).derive(index)
+        degraded = injector.perturb_history(future)
+        rate, cost, mean_time, interruptions = mean_outcome(degraded)
+        results.append(
+            FaultClassResult(
+                name=name,
+                completion_rate=rate,
+                mean_cost=cost,
+                mean_completion_time=mean_time,
+                mean_interruptions=interruptions,
+                cost_delta=cost - baseline_cost,
+                completion_delta=rate - baseline_rate,
+                time_delta=mean_time - baseline_time,
+            )
+        )
+    return ChaosReport(
+        strategy=strategy,
+        bid_price=decision.price,
+        degraded_bid=getattr(decision, "degraded", False),
+        baseline_completion_rate=baseline_rate,
+        baseline_mean_cost=baseline_cost,
+        baseline_mean_completion_time=baseline_time,
+        n_starts=n_starts,
+        seed=seed,
+        results=tuple(results),
+    )

@@ -1,0 +1,400 @@
+"""Seeded, declarative fault injection for spot-price traces and markets.
+
+A :class:`FaultSpec` declares one perturbation of a price series —
+*what* goes wrong, parameterized but with no randomness of its own.  A
+:class:`FaultInjector` owns the randomness: it derives one child
+generator per spec from a single seed, so a given ``(specs, seed)`` pair
+always produces the same degraded market, which keeps chaos experiments
+reproducible.
+
+Two application paths share the same plans:
+
+* **Recorded traces** — :meth:`FaultInjector.perturb_history` rewrites a
+  :class:`~repro.traces.history.SpotPriceHistory` (specs are applied in
+  sequence, each seeing the previous spec's output).
+* **Live markets** — :class:`FaultyPriceSource` wraps any
+  :class:`~repro.market.price_sources.PriceSource` and perturbs slots as
+  they stream out, so a running :class:`~repro.market.simulator.SpotMarket`
+  (or the MapReduce runner's master/slave markets) can be degraded
+  without materializing the whole future.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import FaultError, MarketError
+from ..market.price_sources import PriceSource
+from ..traces.history import SpotPriceHistory
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "PriceSpike",
+    "PricePlateau",
+    "SlotDropout",
+    "SlotDuplication",
+    "RevocationStorm",
+    "TraceTruncation",
+    "FaultInjector",
+    "FaultyPriceSource",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A spec's fully-sampled decision for an ``n_slots``-long series.
+
+    Plans are pure data so the trace path and the streaming path apply
+    the *same* sampled fault: per-slot multiplicative factors, per-slot
+    absolute overrides (NaN means "leave the price alone"), per-slot
+    emission counts (0 drops a slot, 2 duplicates it), and an optional
+    cap on how many slots are emitted at all.
+    """
+
+    multiplier: Optional[np.ndarray] = None
+    override: Optional[np.ndarray] = None
+    emit_counts: Optional[np.ndarray] = None
+    max_emitted: Optional[int] = None
+
+    def apply(self, prices: np.ndarray) -> np.ndarray:
+        out = np.asarray(prices, dtype=float)
+        if self.multiplier is not None:
+            out = out * self.multiplier
+        if self.override is not None:
+            out = np.where(np.isnan(self.override), out, self.override)
+        if self.emit_counts is not None:
+            out = np.repeat(out, self.emit_counts)
+        if self.max_emitted is not None:
+            out = out[: self.max_emitted]
+        if out.size == 0:
+            raise FaultError("fault plan removed every slot of the trace")
+        return out
+
+
+class FaultSpec(abc.ABC):
+    """One declarative perturbation of a price series.
+
+    Subclasses are frozen dataclasses; all randomness comes from the
+    generator handed to :meth:`plan`, never from the spec itself.
+    """
+
+    @property
+    def kind(self) -> str:
+        """Short machine-readable name (the class name, kebab-cased)."""
+        name = type(self).__name__
+        return "".join(
+            ("-" + c.lower()) if c.isupper() else c for c in name
+        ).lstrip("-")
+
+    @abc.abstractmethod
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        """Sample this spec's concrete decisions for an ``n_slots`` series."""
+
+
+def _check_rate(rate: float, name: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {rate!r}")
+
+
+def _check_positive(value: float, name: str) -> None:
+    if not (value > 0 and math.isfinite(value)):
+        raise FaultError(f"{name} must be positive and finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class PriceSpike(FaultSpec):
+    """Multiply the price by ``magnitude`` at randomly chosen slots.
+
+    Roughly ``rate``-fraction of slots start a spike ``width`` slots
+    long — the abrupt price dynamics that feedback-control bidders react
+    to (arXiv:1708.01391).
+    """
+
+    rate: float = 0.01
+    magnitude: float = 10.0
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+        _check_positive(self.magnitude, "magnitude")
+        if self.width < 1:
+            raise FaultError(f"width must be >= 1, got {self.width!r}")
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        n_spikes = min(n_slots, int(round(self.rate * n_slots)))
+        multiplier = np.ones(n_slots)
+        if n_spikes:
+            starts = rng.choice(n_slots, size=n_spikes, replace=False)
+            for start in np.sort(starts):
+                multiplier[start : start + self.width] *= self.magnitude
+        return FaultPlan(multiplier=multiplier)
+
+
+@dataclass(frozen=True)
+class PricePlateau(FaultSpec):
+    """Hold the price at ``level`` for ``duration_slots`` consecutive slots.
+
+    With ``level`` above the bid this starves the job for the whole
+    window — the sustained-outage case one-time requests cannot survive.
+    ``start_slot=None`` picks the window uniformly at random.
+    """
+
+    level: float
+    duration_slots: int
+    start_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_positive(self.level, "level")
+        if self.duration_slots < 1:
+            raise FaultError(
+                f"duration_slots must be >= 1, got {self.duration_slots!r}"
+            )
+        if self.start_slot is not None and self.start_slot < 0:
+            raise FaultError(
+                f"start_slot must be non-negative, got {self.start_slot!r}"
+            )
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        duration = min(self.duration_slots, n_slots)
+        if self.start_slot is None:
+            start = int(rng.integers(0, n_slots - duration + 1))
+        else:
+            start = min(self.start_slot, n_slots - 1)
+        override = np.full(n_slots, np.nan)
+        override[start : start + duration] = self.level
+        return FaultPlan(override=override)
+
+
+@dataclass(frozen=True)
+class SlotDropout(FaultSpec):
+    """Drop ~``rate``-fraction of slots — missing observations in the feed."""
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        counts = np.ones(n_slots, dtype=np.int64)
+        counts[rng.random(n_slots) < self.rate] = 0
+        if counts.sum() == 0:
+            counts[0] = 1  # never delete the whole trace
+        return FaultPlan(emit_counts=counts)
+
+
+@dataclass(frozen=True)
+class SlotDuplication(FaultSpec):
+    """Emit ~``rate``-fraction of slots twice — a stuttering price feed."""
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        counts = np.ones(n_slots, dtype=np.int64)
+        counts[rng.random(n_slots) < self.rate] = 2
+        return FaultPlan(emit_counts=counts)
+
+
+@dataclass(frozen=True)
+class RevocationStorm(FaultSpec):
+    """``bursts`` windows where the price jumps to ``level``.
+
+    With ``level`` above every sane bid each burst revokes all running
+    spot instances at once — the correlated-revocation scenario that
+    portfolio contracts hedge against (arXiv:1811.12901).
+    """
+
+    level: float
+    bursts: int = 3
+    burst_slots: int = 6
+
+    def __post_init__(self) -> None:
+        _check_positive(self.level, "level")
+        if self.bursts < 1:
+            raise FaultError(f"bursts must be >= 1, got {self.bursts!r}")
+        if self.burst_slots < 1:
+            raise FaultError(
+                f"burst_slots must be >= 1, got {self.burst_slots!r}"
+            )
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        override = np.full(n_slots, np.nan)
+        n_bursts = min(self.bursts, n_slots)
+        starts = rng.choice(n_slots, size=n_bursts, replace=False)
+        for start in np.sort(starts):
+            override[start : start + self.burst_slots] = self.level
+        return FaultPlan(override=override)
+
+
+@dataclass(frozen=True)
+class TraceTruncation(FaultSpec):
+    """Keep only the leading ``fraction`` of the trace.
+
+    Models a feed that dies mid-backtest; downstream code must cope with
+    jobs that run out of future instead of completing.
+    """
+
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise FaultError(
+                f"fraction must be in (0, 1], got {self.fraction!r}"
+            )
+
+    def plan(self, rng: np.random.Generator, n_slots: int) -> FaultPlan:
+        return FaultPlan(max_emitted=max(1, int(n_slots * self.fraction)))
+
+
+class FaultInjector:
+    """Applies a sequence of :class:`FaultSpec` s reproducibly.
+
+    Parameters
+    ----------
+    specs:
+        The perturbations, applied in order.
+    seed:
+        Root seed.  Spec ``i`` draws from
+        ``np.random.default_rng([seed, i])``, so adding or reordering
+        specs never silently reshuffles another spec's randomness.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0):
+        specs = tuple(specs)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(f"not a FaultSpec: {spec!r}")
+        if not specs:
+            raise FaultError("need at least one FaultSpec")
+        self.specs: Tuple[FaultSpec, ...] = specs
+        self.seed = int(seed)
+        self._prefix: Tuple[int, ...] = (self.seed,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(spec.kind for spec in self.specs)
+        return f"FaultInjector([{kinds}], seed={self.seed})"
+
+    def derive(self, index: int) -> "FaultInjector":
+        """An injector with the same specs but an independent seed stream.
+
+        Used to give each trace of a sweep (or each class of a chaos
+        run) its own randomness while staying a pure function of the
+        root seed.
+        """
+        child = FaultInjector(self.specs, seed=self.seed)
+        child._prefix = self._prefix + (int(index),)
+        return child
+
+    def spec_rng(self, index: int) -> np.random.Generator:
+        """The dedicated generator for spec ``index``."""
+        return np.random.default_rng([*self._prefix, index])
+
+    # -- recorded traces --------------------------------------------------
+    def perturb_prices(self, prices: np.ndarray) -> np.ndarray:
+        """Apply every spec in sequence to a 1-D price array."""
+        out = np.asarray(prices, dtype=float)
+        if out.ndim != 1 or out.size == 0:
+            raise FaultError("prices must be a non-empty 1-D array")
+        for i, spec in enumerate(self.specs):
+            out = spec.plan(self.spec_rng(i), out.size).apply(out)
+        return out
+
+    def perturb_history(self, history: SpotPriceHistory) -> SpotPriceHistory:
+        """A new history with the same metadata and perturbed prices."""
+        return SpotPriceHistory(
+            prices=self.perturb_prices(history.prices),
+            slot_length=history.slot_length,
+            start_hour=history.start_hour,
+            instance_type=history.instance_type,
+        )
+
+    # -- live markets ------------------------------------------------------
+    def price_source(
+        self, source: PriceSource, *, horizon: Optional[int] = None
+    ) -> "FaultyPriceSource":
+        """Wrap a live price source; see :class:`FaultyPriceSource`."""
+        return FaultyPriceSource(source, self, horizon=horizon)
+
+
+class FaultyPriceSource(PriceSource):
+    """A :class:`PriceSource` decorator that perturbs slots as they stream.
+
+    All specs sample their plans over the same underlying horizon (the
+    wrapped source's remaining slots, or ``horizon`` for unbounded
+    sources) and are applied jointly per slot: price transforms in spec
+    order, then the product of the specs' emission counts decides
+    whether the slot is dropped, passed through, or repeated.
+    Truncation caps the number of *emitted* slots, after which the
+    source reports itself exhausted like a spent trace.
+    """
+
+    def __init__(
+        self,
+        source: PriceSource,
+        injector: FaultInjector,
+        *,
+        horizon: Optional[int] = None,
+    ):
+        n = source.remaining_slots()
+        if n is None:
+            n = horizon
+        if n is None:
+            raise FaultError(
+                "wrapping an unbounded price source needs an explicit horizon"
+            )
+        if n < 1:
+            raise FaultError(f"horizon must be >= 1, got {n!r}")
+        self._source = source
+        self._plans = [
+            spec.plan(injector.spec_rng(i), n)
+            for i, spec in enumerate(injector.specs)
+        ]
+        self._horizon = n
+        self._counts = np.ones(n, dtype=np.int64)
+        for plan in self._plans:
+            if plan.emit_counts is not None:
+                self._counts *= plan.emit_counts
+        caps = [p.max_emitted for p in self._plans if p.max_emitted is not None]
+        self._max_emitted: Optional[int] = min(caps) if caps else None
+        self._cursor = 0
+        self._emitted = 0
+        self._pending: List[float] = []
+
+    def next_price(self) -> float:
+        if self._max_emitted is not None and self._emitted >= self._max_emitted:
+            raise MarketError(
+                f"fault-injected price source truncated after "
+                f"{self._emitted} slots"
+            )
+        while not self._pending:
+            if self._cursor >= self._horizon:
+                raise MarketError(
+                    f"fault-injected price source exhausted after "
+                    f"{self._emitted} slots"
+                )
+            price = self._source.next_price()
+            for plan in self._plans:
+                if plan.multiplier is not None:
+                    price *= float(plan.multiplier[self._cursor])
+                if plan.override is not None:
+                    override = float(plan.override[self._cursor])
+                    if not math.isnan(override):
+                        price = override
+            self._pending.extend([price] * int(self._counts[self._cursor]))
+            self._cursor += 1
+        self._emitted += 1
+        return self._pending.pop(0)
+
+    def remaining_slots(self) -> int:
+        left = int(self._counts[self._cursor :].sum()) + len(self._pending)
+        if self._max_emitted is not None:
+            left = min(left, self._max_emitted - self._emitted)
+        return max(0, left)

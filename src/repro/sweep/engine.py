@@ -11,9 +11,19 @@ identical to the scalar :mod:`repro.market.fastpath` oracle.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 import numpy as np
 
@@ -22,6 +32,10 @@ from ..errors import MarketError
 from . import cache as _cache
 from .kernels import onetime_sweep_kernel, persistent_sweep_kernel
 from .report import SweepCounters, SweepReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.execution import BackoffPolicy, SweepJournal
+    from ..resilience.faults import FaultInjector
 
 __all__ = ["map_traces", "run_sweep"]
 
@@ -48,8 +62,20 @@ def _trace_prices(trace: object) -> np.ndarray:
     return prices
 
 
+def _as_trace_list(traces: Union[object, Sequence[object]]) -> List[object]:
+    """Normalize the heterogeneous ``traces`` argument to a list."""
+    if hasattr(traces, "prices") or (
+        isinstance(traces, np.ndarray) and traces.ndim == 1
+    ):
+        traces = [traces]
+    seq = list(traces)
+    if not seq:
+        raise MarketError("need at least one trace to sweep")
+    return seq
+
+
 def _stack_traces(
-    traces: Union[object, Sequence[object]],
+    traces: Sequence[object],
     start_slots: Union[int, Sequence[int]],
 ):
     """Slice, pad and stack traces into ``(matrix, n_valid)``.
@@ -58,14 +84,8 @@ def _stack_traces(
     ``+inf`` — never accepted by any finite bid — and their true lengths
     recorded in ``n_valid``.
     """
-    if hasattr(traces, "prices") or (
-        isinstance(traces, np.ndarray) and traces.ndim == 1
-    ):
-        traces = [traces]
-    rows: List[np.ndarray] = []
     seq = list(traces)
-    if not seq:
-        raise MarketError("need at least one trace to sweep")
+    rows: List[np.ndarray] = []
     if isinstance(start_slots, (int, np.integer)):
         starts = [int(start_slots)] * len(seq)
     else:
@@ -111,7 +131,17 @@ def map_traces(
     *,
     max_workers: Optional[int] = None,
     executor: str = "thread",
-) -> List[_R]:
+    retries: int = 0,
+    backoff: "Optional[BackoffPolicy]" = None,
+    timeout: Optional[float] = None,
+    strict: bool = True,
+    labels: Optional[Sequence[str]] = None,
+    journal: "Optional[SweepJournal]" = None,
+    keys: Optional[Sequence[str]] = None,
+    serialize: Optional[Callable] = None,
+    deserialize: Optional[Callable] = None,
+    return_failures: bool = False,
+):
     """Apply ``fn`` over ``items``, optionally on an executor, preserving
     order.  ``max_workers=None`` (or fewer than two items) runs serially;
     ``executor`` chooses ``"thread"`` or ``"process"`` fan-out.
@@ -120,7 +150,47 @@ def map_traces(
     and the repetition loops of the heavier experiments (e.g. the
     MapReduce cluster backtests, which cannot be expressed as
     single-request kernels).
+
+    The resilience options delegate to
+    :func:`repro.resilience.execution.run_items`: failing items are
+    retried ``retries`` times with capped exponential ``backoff``,
+    bounded by a per-item ``timeout``, journaled for resume, and — with
+    ``strict=False`` — recorded as failures instead of raising.  With
+    ``return_failures=True`` the full
+    :class:`~repro.resilience.execution.ExecutionResult` is returned
+    instead of the bare result list.  With every resilience option at
+    its default the legacy fast path runs unchanged.
     """
+    resilient = (
+        retries > 0
+        or timeout is not None
+        or journal is not None
+        or not strict
+        or return_failures
+    )
+    if resilient:
+        from ..resilience.execution import run_items
+
+        result = run_items(
+            fn,
+            items,
+            labels=labels,
+            retries=retries,
+            backoff=backoff,
+            timeout=timeout,
+            strict=strict,
+            max_workers=max_workers,
+            executor=executor,
+            journal=journal,
+            keys=keys,
+            **(
+                {"serialize": serialize} if serialize is not None else {}
+            ),
+            **(
+                {"deserialize": deserialize} if deserialize is not None else {}
+            ),
+        )
+        return result if return_failures else result.results
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     if executor == "thread":
@@ -150,6 +220,44 @@ def _run_kernel_chunk(args):
     )
 
 
+def _serialize_kernel_result(result: dict) -> dict:
+    """Kernel result dict → JSON-safe journal payload (dtypes preserved)."""
+    payload = {}
+    for key, value in result.items():
+        if isinstance(value, np.ndarray):
+            payload[key] = {"data": value.tolist(), "dtype": str(value.dtype)}
+        else:
+            payload[key] = value
+    return payload
+
+
+def _deserialize_kernel_result(payload: dict) -> dict:
+    """Inverse of :func:`_serialize_kernel_result` — bitwise round-trip
+    (JSON floats use shortest round-trip repr)."""
+    out = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and "dtype" in value:
+            out[key] = np.asarray(value["data"], dtype=value["dtype"])
+        else:
+            out[key] = value
+    return out
+
+
+def _failure_placeholder(n_bids: int) -> dict:
+    """The row recorded for a permanently failed trace: NaN costs/times,
+    ``completed=False`` — unmistakably "no data", not "ran and lost"."""
+    return {
+        "completed": np.zeros((1, n_bids), dtype=bool),
+        "cost": np.full((1, n_bids), np.nan),
+        "completion_time": np.full((1, n_bids), np.nan),
+        "running_time": np.full((1, n_bids), np.nan),
+        "idle_time": np.full((1, n_bids), np.nan),
+        "recovery_time_used": np.full((1, n_bids), np.nan),
+        "interruptions": np.zeros((1, n_bids), dtype=np.int64),
+        "slots_simulated": 0,
+    }
+
+
 def run_sweep(
     traces: Union[object, Sequence[object]],
     bids: Union[float, Sequence[float], np.ndarray],
@@ -160,6 +268,12 @@ def run_sweep(
     pair_bids: bool = False,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    faults: "Optional[FaultInjector]" = None,
+    retries: int = 0,
+    backoff: "Optional[BackoffPolicy]" = None,
+    item_timeout: Optional[float] = None,
+    strict: bool = True,
+    journal: "Union[None, str, os.PathLike, SweepJournal]" = None,
 ) -> SweepReport:
     """Evaluate a grid of bids against a stack of price traces in one shot.
 
@@ -186,6 +300,21 @@ def run_sweep(
     max_workers / executor:
         Optional trace-level fan-out via ``concurrent.futures``
         (``"thread"`` or ``"process"``).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; trace
+        ``i`` is perturbed with ``faults.derive(i)`` before simulation,
+        so fault-injected sweeps stay reproducible per root seed.
+    retries / backoff / item_timeout / strict / journal:
+        Resilient execution (any non-default value activates it): each
+        trace becomes an isolated work item, retried with capped
+        exponential backoff and bounded by a per-item timeout.  With
+        ``strict=False`` permanent failures land in
+        ``SweepReport.failures`` (their rows become NaN placeholders)
+        instead of raising
+        :class:`~repro.errors.SweepExecutionError`.  ``journal`` (a path
+        or :class:`~repro.resilience.execution.SweepJournal`) persists
+        finished traces so an interrupted sweep resumes without
+        recomputing them.
 
     Returns
     -------
@@ -200,7 +329,15 @@ def run_sweep(
             "the resulting price with Strategy.PERSISTENT"
         )
     _slot_length_of(traces, job)
-    matrix, n_valid = _stack_traces(traces, start_slots)
+    trace_list = _as_trace_list(traces)
+    if faults is not None:
+        trace_list = [
+            faults.derive(i).perturb_history(trace)
+            if hasattr(trace, "prices")
+            else faults.derive(i).perturb_prices(np.asarray(trace, dtype=float))
+            for i, trace in enumerate(trace_list)
+        ]
+    matrix, n_valid = _stack_traces(trace_list, start_slots)
     n_traces = matrix.shape[0]
 
     bid_values = np.atleast_1d(np.asarray(bids, dtype=float))
@@ -218,9 +355,17 @@ def run_sweep(
 
     recovery = job.recovery_time if strategy is Strategy.PERSISTENT else 0.0
     hits0, misses0 = _cache.distribution_cache_stats()
+    n_cols = 1 if pair_bids else int(kernel_bids.shape[-1])
 
+    resilient = (
+        retries > 0 or item_timeout is not None or journal is not None or not strict
+    )
     chunks: List[np.ndarray]
-    if max_workers is not None and max_workers > 1 and n_traces > 1:
+    if resilient:
+        # One trace per work item so a failure (or a journal hit) is
+        # isolated to exactly one row of the report.
+        chunks = [np.asarray([i]) for i in range(n_traces)]
+    elif max_workers is not None and max_workers > 1 and n_traces > 1:
         bounds = np.array_split(np.arange(n_traces), min(max_workers, n_traces))
         chunks = [idx for idx in bounds if idx.size]
     else:
@@ -241,10 +386,49 @@ def run_sweep(
             )
         )
 
+    failures = ()
     started = time.perf_counter()
-    results = map_traces(
-        _run_kernel_chunk, args, max_workers=max_workers, executor=executor
-    )
+    if resilient:
+        from ..resilience.execution import SweepJournal
+
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(
+                journal,
+                signature={
+                    "strategy": strategy.value,
+                    "execution_time": job.execution_time,
+                    "recovery_time": recovery,
+                    "slot_length": job.slot_length,
+                    "pair_bids": pair_bids,
+                    "bids": [float(b) for b in bid_values],
+                    "n_traces": n_traces,
+                },
+            )
+        execution = map_traces(
+            _run_kernel_chunk,
+            args,
+            max_workers=max_workers,
+            executor=executor,
+            retries=retries,
+            backoff=backoff,
+            timeout=item_timeout,
+            strict=strict,
+            labels=[f"trace {i}" for i in range(n_traces)],
+            journal=journal,
+            keys=[f"trace:{i}" for i in range(n_traces)],
+            serialize=_serialize_kernel_result,
+            deserialize=_deserialize_kernel_result,
+            return_failures=True,
+        )
+        failures = execution.failures
+        results = [
+            r if r is not None else _failure_placeholder(n_cols)
+            for r in execution.results
+        ]
+    else:
+        results = map_traces(
+            _run_kernel_chunk, args, max_workers=max_workers, executor=executor
+        )
     kernel_seconds = time.perf_counter() - started
 
     merged = {
@@ -254,7 +438,7 @@ def run_sweep(
     hits1, misses1 = _cache.distribution_cache_stats()
     counters = SweepCounters(
         n_traces=n_traces,
-        n_bids=int(kernel_bids.shape[-1]) if not pair_bids else 1,
+        n_bids=n_cols,
         slots_simulated=slots,
         kernel_seconds=kernel_seconds,
         cache_hits=hits1 - hits0,
@@ -271,4 +455,5 @@ def run_sweep(
         recovery_time_used=merged["recovery_time_used"],
         interruptions=merged["interruptions"],
         counters=counters,
+        failures=failures,
     )

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from ..core.types import Strategy
 from ..market.outcomes import OutcomeStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.execution import ItemFailure
 
 __all__ = ["SweepCounters", "SweepReport"]
 
@@ -39,6 +42,10 @@ class SweepReport:
     All arrays have shape ``(n_traces, n_bids)``; in paired mode
     (``pair_bids=True``) the bid axis has length 1 and row ``i`` used
     ``bids[i]``.
+
+    A report from a resilient run may be *partial*: traces whose work
+    item failed permanently are listed in :attr:`failures` and their
+    rows hold NaN costs/times with ``completed=False``.
     """
 
     strategy: Strategy
@@ -51,10 +58,21 @@ class SweepReport:
     recovery_time_used: np.ndarray
     interruptions: np.ndarray
     counters: SweepCounters
+    #: Work items that failed permanently (resilient runs only).
+    failures: "Tuple[ItemFailure, ...]" = ()
 
     @property
     def shape(self) -> Tuple[int, int]:
         return self.cost.shape
+
+    @property
+    def is_partial(self) -> bool:
+        """True when at least one trace's work item failed permanently."""
+        return bool(self.failures)
+
+    def failed_traces(self) -> Tuple[int, ...]:
+        """Trace indices whose rows are placeholders, in index order."""
+        return tuple(f.index for f in self.failures)
 
     def cell(self, trace: int, bid: int) -> OutcomeStats:
         """One ``(trace, bid)`` cell as a backend-independent record."""

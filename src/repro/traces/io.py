@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 import os
+import warnings
 from typing import Union
+
+import numpy as np
 
 from ..constants import DEFAULT_SLOT_HOURS
 from ..errors import TraceError
@@ -43,8 +47,16 @@ def write_csv(history: SpotPriceHistory, path: Union[str, os.PathLike]) -> None:
         fh.write(dumps_csv(history))
 
 
-def loads_csv(text: str) -> SpotPriceHistory:
-    """Parse CSV text produced by :func:`dumps_csv`."""
+def loads_csv(text: str, *, repair: bool = False) -> SpotPriceHistory:
+    """Parse CSV text produced by :func:`dumps_csv`.
+
+    Malformed data raises :class:`~repro.errors.TraceError` naming the
+    offending 0-based data-row index: out-of-order timestamps and
+    negative prices are the classic corruptions of scraped price feeds.
+    With ``repair=True`` the rows are instead sorted by timestamp and
+    negative prices clipped to zero, with a :class:`UserWarning`
+    describing what was fixed.
+    """
     instance_type = None
     slot_length = DEFAULT_SLOT_HOURS
     start_hour = 0.0
@@ -78,17 +90,61 @@ def loads_csv(text: str) -> SpotPriceHistory:
             f"unexpected CSV header {header!r}; expected {list(_HEADER)!r}"
         )
     prices = []
-    for row in reader:
+    times = []
+    for index, row in enumerate(reader):
         if not row:
             continue
         if len(row) != 3:
-            raise TraceError(f"malformed row {row!r}: expected 3 columns")
+            raise TraceError(
+                f"malformed data row {index} ({row!r}): expected 3 columns"
+            )
         try:
-            prices.append(float(row[2]))
+            time_hours = float(row[1])
         except ValueError as exc:
-            raise TraceError(f"non-numeric price in row {row!r}") from exc
+            raise TraceError(
+                f"non-numeric timestamp in data row {index} ({row!r})"
+            ) from exc
+        try:
+            price = float(row[2])
+        except ValueError as exc:
+            raise TraceError(
+                f"non-numeric price in data row {index} ({row!r})"
+            ) from exc
+        if not math.isfinite(price):
+            raise TraceError(f"non-finite price {price!r} in data row {index}")
+        times.append(time_hours)
+        prices.append(price)
     if not prices:
         raise TraceError("trace file contains a header but no prices")
+
+    n_unsorted = sum(
+        1 for i in range(1, len(times)) if times[i] <= times[i - 1]
+    )
+    n_negative = sum(1 for p in prices if p < 0)
+    if repair:
+        if n_unsorted or n_negative:
+            order = np.argsort(times, kind="stable")
+            prices = [max(0.0, prices[i]) for i in order]
+            warnings.warn(
+                f"repaired trace: sorted {n_unsorted} out-of-order row(s), "
+                f"clipped {n_negative} negative price(s) to zero",
+                UserWarning,
+                stacklevel=2,
+            )
+    else:
+        for i in range(1, len(times)):
+            if times[i] <= times[i - 1]:
+                raise TraceError(
+                    f"timestamps not increasing at data row {i} "
+                    f"({times[i]!r} after {times[i - 1]!r}); "
+                    f"pass repair=True to sort"
+                )
+        for i, price in enumerate(prices):
+            if price < 0:
+                raise TraceError(
+                    f"negative price {price!r} in data row {i}; "
+                    f"pass repair=True to clip"
+                )
     return SpotPriceHistory(
         prices=prices,
         slot_length=slot_length,
@@ -97,7 +153,9 @@ def loads_csv(text: str) -> SpotPriceHistory:
     )
 
 
-def read_csv(path: Union[str, os.PathLike]) -> SpotPriceHistory:
+def read_csv(
+    path: Union[str, os.PathLike], *, repair: bool = False
+) -> SpotPriceHistory:
     """Read a trace previously written by :func:`write_csv`."""
     with open(path, "r") as fh:
-        return loads_csv(fh.read())
+        return loads_csv(fh.read(), repair=repair)

@@ -7,6 +7,7 @@ from repro import (
     BiddingClient,
     JobSpec,
     MapReduceJobSpec,
+    Strategy,
     generate_equilibrium_history,
     generate_renewal_history,
     get_instance_type,
@@ -33,7 +34,7 @@ class TestSingleInstanceJourney:
         # 2. The client computes bids from the same history (Section 5).
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
         job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
-        decision = client.decide(job, strategy="persistent")
+        decision = client.decide(job, strategy=Strategy.PERSISTENT)
         assert decision.price < itype.on_demand_price / 2
 
         # 3. Execution on unseen sticky futures saves ~90% (Section 7.1).
@@ -117,7 +118,7 @@ class TestCliJourney:
         b = BiddingClient(again, ondemand_price=itype.on_demand_price)
         job = JobSpec(1.0, seconds(30))
         assert math.isclose(
-            a.decide(job, strategy="persistent").price,
-            b.decide(job, strategy="persistent").price,
+            a.decide(job, strategy=Strategy.PERSISTENT).price,
+            b.decide(job, strategy=Strategy.PERSISTENT).price,
             rel_tol=1e-9,
         )

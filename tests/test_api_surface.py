@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.experiments",
     "repro.sweep",
+    "repro.resilience",
 ]
 
 MODULES = [
@@ -61,6 +62,9 @@ MODULES = [
     "repro.extensions.correlated",
     "repro.extensions.spot_blocks",
     "repro.analysis.trace_stats",
+    "repro.resilience.faults",
+    "repro.resilience.execution",
+    "repro.resilience.chaos",
     "repro.cli",
 ]
 
@@ -120,3 +124,18 @@ def test_version_is_set():
     import repro
 
     assert repro.__version__ == "1.0.0"
+
+
+def test_root_exports_cover_the_resilience_layer():
+    """Regression: fault injection and resilient execution stay exported."""
+    import repro
+
+    for symbol in (
+        "FaultInjector", "FaultSpec", "PriceSpike", "RevocationStorm",
+        "BackoffPolicy", "ItemFailure", "SweepJournal",
+        "DegradedDecision", "default_fault_suite", "run_chaos",
+        "FaultError", "SweepExecutionError",
+    ):
+        assert symbol in repro.__all__
+        assert hasattr(repro, symbol)
+    assert repro.run_chaos is repro.resilience.run_chaos

@@ -88,8 +88,11 @@ class TestSweep:
         assert "best bid" in out
 
     def test_rejects_bad_grid(self, trace_file, future_file, capsys):
-        assert main(["sweep", str(trace_file), str(future_file),
-                     "--bids", "0"]) == 1
+        # Numeric validation happens at argparse level: friendly usage
+        # error and the standard exit code 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(trace_file), str(future_file), "--bids", "0"])
+        assert excinfo.value.code == 2
         assert "--bids" in capsys.readouterr().err
         assert main(["sweep", str(trace_file), str(future_file),
                      "--low", "0.2", "--high", "0.1"]) == 1
@@ -140,3 +143,64 @@ class TestOptionsCommand:
         out = capsys.readouterr().out
         for name in ("on-demand", "one-time", "persistent", "spot-block"):
             assert name in out
+
+
+class TestNumericValidation:
+    """Invalid numeric flags die in argparse with a friendly message."""
+
+    @pytest.mark.parametrize(
+        "argv,flag",
+        [
+            (["bid", "t.csv", "--hours", "0"], "--hours"),
+            (["bid", "t.csv", "--hours", "-2"], "--hours"),
+            (["bid", "t.csv", "--hours", "nan"], "--hours"),
+            (["bid", "t.csv", "--recovery-seconds", "-1"],
+             "--recovery-seconds"),
+            (["trace", "r3.xlarge", "--days", "0", "--out", "x.csv"],
+             "--days"),
+            (["sweep", "a.csv", "b.csv", "--bids", "-3"], "--bids"),
+            (["sweep", "a.csv", "b.csv", "--bids", "2.5"], "--bids"),
+            (["mapreduce", "--slaves", "0"], "--slaves"),
+            (["chaos", "t.csv", "--intensity", "-1"], "--intensity"),
+            (["chaos", "t.csv", "--starts", "0"], "--starts"),
+        ],
+    )
+    def test_rejected_at_parse_time(self, argv, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+
+    def test_messages_name_the_offending_value(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bid", "t.csv", "--hours", "-2"])
+        assert "-2" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_end_to_end_on_generated_trace(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file), "--hours", "1",
+                     "--seed", "3", "--starts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault class" in out
+        for name in ("spike", "plateau", "dropout", "duplication",
+                     "storm", "truncation"):
+            assert name in out
+
+    def test_reproducible_per_seed(self, trace_file, capsys):
+        argv = ["chaos", str(trace_file), "--seed", "9", "--starts", "2",
+                "--classes", "spike", "truncation"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_split_fails_cleanly(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file), "--split", "1.5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_class_rejected_by_argparse(self, trace_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", str(trace_file), "--classes", "gremlin"])
+        assert "--classes" in capsys.readouterr().err

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.client import BiddingClient
-from repro.core.types import BidKind, JobSpec
+from repro.core.types import BidKind, JobSpec, Strategy
 from repro.errors import MarketError
 from repro.traces.history import SpotPriceHistory
 
@@ -18,9 +18,9 @@ def client(r3_history):
 
 class TestDecide:
     def test_strategies_ranked_as_in_the_paper(self, client, hour_job):
-        onetime = client.decide(hour_job, strategy="one-time")
-        persistent = client.decide(hour_job, strategy="persistent")
-        pct = client.decide(hour_job, strategy="percentile", percentile=90.0)
+        onetime = client.decide(hour_job, strategy=Strategy.ONE_TIME)
+        persistent = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        pct = client.decide(hour_job, strategy=Strategy.PERCENTILE, percentile=90.0)
         assert persistent.price < onetime.price
         assert persistent.expected_cost <= onetime.expected_cost + 1e-12
         assert pct.kind is BidKind.PERSISTENT
@@ -36,7 +36,7 @@ class TestDecide:
 
 class TestExecute:
     def test_completed_run_reports_consistent_metrics(self, client, hour_job, r3_future):
-        decision = client.decide(hour_job, strategy="persistent")
+        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
         outcome = client.execute(decision, hour_job, r3_future)
         assert outcome.completed
         assert outcome.cost > 0
@@ -52,12 +52,12 @@ class TestExecute:
         future = SpotPriceHistory(prices=np.full(100, 0.03), slot_length=0.25)
         with pytest.raises(MarketError):
             client.execute(
-                client.decide(hour_job, strategy="persistent"), hour_job, future
+                client.decide(hour_job, strategy=Strategy.PERSISTENT), hour_job, future
             )
 
     def test_onetime_failure_reported(self, client):
         job = JobSpec(execution_time=1.0)
-        decision = client.decide(job, strategy="one-time")
+        decision = client.decide(job, strategy=Strategy.ONE_TIME)
         # A future where the price jumps above any sane bid mid-run.
         prices = np.concatenate([
             np.full(6, 0.0315), np.full(30, 0.34), np.full(100, 0.0315),
@@ -69,7 +69,7 @@ class TestExecute:
 
     def test_fallback_ondemand_adds_rerun_cost(self, client):
         job = JobSpec(execution_time=1.0)
-        decision = client.decide(job, strategy="one-time")
+        decision = client.decide(job, strategy=Strategy.ONE_TIME)
         prices = np.concatenate([
             np.full(6, 0.0315), np.full(30, 0.34), np.full(100, 0.0315),
         ])
@@ -79,7 +79,7 @@ class TestExecute:
         assert math.isclose(padded.cost, plain.cost + 0.35 * 1.0)
 
     def test_start_slot_offsets_execution(self, client, hour_job, r3_future):
-        decision = client.decide(hour_job, strategy="persistent")
+        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
         a = client.execute(decision, hour_job, r3_future, start_slot=0)
         b = client.execute(decision, hour_job, r3_future, start_slot=100)
         # Different price windows generally give different costs; at the
@@ -89,7 +89,7 @@ class TestExecute:
 
 class TestBacktest:
     def test_report_pairs_decision_and_outcome(self, client, hour_job, r3_future):
-        report = client.backtest(hour_job, r3_future, strategy="persistent")
+        report = client.backtest(hour_job, r3_future, strategy=Strategy.PERSISTENT)
         assert report.decision.kind is BidKind.PERSISTENT
         assert report.outcome.bid_price == report.decision.price
         assert math.isfinite(report.cost_prediction_error)
@@ -101,7 +101,7 @@ class TestBacktest:
         from repro.traces.generator import generate_equilibrium_history
 
         costs = []
-        decision = client.decide(hour_job, strategy="persistent")
+        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
         for _ in range(25):
             future = generate_equilibrium_history("r3.xlarge", days=4, rng=rng)
             outcome = client.execute(decision, hour_job, future)
@@ -112,3 +112,45 @@ class TestBacktest:
 
     def test_ondemand_cost(self, client, hour_job):
         assert math.isclose(client.ondemand_cost(hour_job), 0.35)
+
+
+class TestDegradedDecision:
+    """Graceful degradation: infeasible bids fall back to on-demand."""
+
+    def _infeasible_job(self):
+        # Persistent bids need t_s > t_r; this violates eq. 14's premise.
+        return JobSpec(execution_time=0.5, recovery_time=1.0)
+
+    def test_without_degrade_flag_the_error_propagates(self, client):
+        from repro.errors import InfeasibleBidError
+
+        with pytest.raises(InfeasibleBidError):
+            client.decide(self._infeasible_job(), strategy=Strategy.PERSISTENT)
+
+    def test_degrade_returns_marked_ondemand_fallback(self, client):
+        from repro.core.types import DegradedDecision
+
+        job = self._infeasible_job()
+        decision = client.decide(
+            job, strategy=Strategy.PERSISTENT, degrade=True
+        )
+        assert isinstance(decision, DegradedDecision)
+        assert decision.degraded is True
+        assert decision.price == 0.35
+        assert math.isclose(
+            decision.expected_cost, client.ondemand_cost(job)
+        )
+        assert decision.acceptance_probability == 1.0
+        assert decision.reason  # carries the optimizer's complaint
+
+    def test_feasible_decisions_are_not_degraded(self, client, hour_job):
+        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        assert decision.degraded is False
+
+    def test_degraded_decision_is_executable(self, client, r3_future):
+        job = self._infeasible_job()
+        decision = client.decide(
+            job, strategy=Strategy.PERSISTENT, degrade=True
+        )
+        outcome = client.execute(decision, job, r3_future)
+        assert outcome.completed

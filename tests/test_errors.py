@@ -16,6 +16,8 @@ from repro import errors
         errors.TraceError,
         errors.CatalogError,
         errors.PlanError,
+        errors.FaultError,
+        errors.SweepExecutionError,
     ],
 )
 def test_all_errors_derive_from_repro_error(exc):

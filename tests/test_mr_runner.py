@@ -132,3 +132,61 @@ class TestOndemandBaseline:
         job = MapReduceJobSpec(execution_time=1.0, num_slaves=1)
         with pytest.raises(PlanError):
             ondemand_baseline(job, 0.0, 0.84)
+
+
+class TestFaultInjection:
+    def test_slave_storm_interrupts_only_the_slaves(self):
+        from repro.resilience.faults import (
+            FaultInjector,
+            PricePlateau,
+        )
+
+        plan = make_plan(num_slaves=2, ts=1.0, tr=seconds(30))
+        clean = run_plan_on_traces(
+            plan, flat_history(0.02), flat_history(0.03)
+        )
+        # A plateau above the slave bid early in the run pauses the
+        # persistent slaves; the master's feed stays clean.
+        storm = FaultInjector(
+            [PricePlateau(level=1.0, duration_slots=4, start_slot=2)],
+            seed=0,
+        )
+        stormy = run_plan_on_traces(
+            plan, flat_history(0.02), flat_history(0.03), slave_faults=storm
+        )
+        assert stormy.completed
+        assert stormy.master_restarts == 0
+        assert stormy.slave_interruptions > clean.slave_interruptions
+        assert stormy.completion_time > clean.completion_time
+
+    def test_master_faults_perturb_the_master_market(self):
+        from repro.resilience.faults import FaultInjector, PricePlateau
+
+        plan = make_plan(num_slaves=2, ts=1.0)
+        outage = FaultInjector(
+            [PricePlateau(level=1.0, duration_slots=3, start_slot=2)],
+            seed=0,
+        )
+        result = run_plan_on_traces(
+            plan, flat_history(0.02), flat_history(0.03),
+            master_faults=outage,
+        )
+        # The one-time master is outbid mid-run and must be restarted.
+        assert result.master_restarts > 0
+        assert result.completed
+
+    def test_fault_injected_runs_are_reproducible(self):
+        from repro.resilience.faults import FaultInjector, PriceSpike
+
+        plan = make_plan(num_slaves=2, ts=1.0, tr=seconds(30))
+        args = dict(
+            master_faults=FaultInjector([PriceSpike(rate=0.05)], seed=4),
+            slave_faults=FaultInjector([PriceSpike(rate=0.05)], seed=5),
+        )
+        a = run_plan_on_traces(
+            plan, flat_history(0.02), flat_history(0.03), **args
+        )
+        b = run_plan_on_traces(
+            plan, flat_history(0.02), flat_history(0.03), **args
+        )
+        assert a == b

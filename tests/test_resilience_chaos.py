@@ -1,0 +1,131 @@
+"""The chaos harness: default suite, reproducibility, degradation report."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import JobSpec, Strategy
+from repro.errors import FaultError
+from repro.resilience.chaos import (
+    FAULT_CLASSES,
+    ChaosReport,
+    default_fault_suite,
+    run_chaos,
+)
+from repro.resilience.faults import PricePlateau
+from repro.traces.generator import (
+    generate_equilibrium_history,
+    generate_renewal_history,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    rng = np.random.default_rng(77)
+    history = generate_equilibrium_history("r3.xlarge", days=14, rng=rng)
+    future = generate_renewal_history("r3.xlarge", days=7, rng=rng)
+    return history, future
+
+
+@pytest.fixture
+def job():
+    return JobSpec(execution_time=1.0, recovery_time=0.01)
+
+
+class TestDefaultSuite:
+    def test_covers_every_fault_class(self):
+        suite = default_fault_suite(0.35)
+        assert tuple(suite) == FAULT_CLASSES
+        for specs in suite.values():
+            assert specs  # every class ships at least one spec
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FaultError):
+            default_fault_suite(0.0)
+        with pytest.raises(FaultError):
+            default_fault_suite(0.35, intensity=-1.0)
+
+
+class TestRunChaos:
+    def test_reproducible_per_seed(self, market, job):
+        history, future = market
+        a = run_chaos(
+            history, future, job, ondemand_price=0.35, seed=5, n_starts=4
+        )
+        b = run_chaos(
+            history, future, job, ondemand_price=0.35, seed=5, n_starts=4
+        )
+        assert a == b
+        c = run_chaos(
+            history, future, job, ondemand_price=0.35, seed=6, n_starts=4
+        )
+        assert c != a
+
+    def test_report_shape_and_deltas(self, market, job):
+        history, future = market
+        report = run_chaos(
+            history, future, job, ondemand_price=0.35, seed=0, n_starts=4
+        )
+        assert isinstance(report, ChaosReport)
+        assert tuple(r.name for r in report.results) == FAULT_CLASSES
+        for r in report.results:
+            assert 0.0 <= r.completion_rate <= 1.0
+            assert r.cost_delta == pytest.approx(
+                r.mean_cost - report.baseline_mean_cost
+            )
+            assert r.completion_delta == pytest.approx(
+                r.completion_rate - report.baseline_completion_rate
+            )
+        assert not report.degraded_bid
+
+    def test_subset_of_classes(self, market, job):
+        history, future = market
+        report = run_chaos(
+            history, future, job, ondemand_price=0.35,
+            classes=["spike", "truncation"], n_starts=2,
+        )
+        assert tuple(r.name for r in report.results) == ("spike", "truncation")
+
+    def test_unknown_class_rejected(self, market, job):
+        history, future = market
+        with pytest.raises(FaultError, match="unknown fault class"):
+            run_chaos(
+                history, future, job, ondemand_price=0.35, classes=["gremlin"]
+            )
+        with pytest.raises(FaultError, match="n_starts"):
+            run_chaos(
+                history, future, job, ondemand_price=0.35, n_starts=0
+            )
+
+    def test_custom_suite_with_guaranteed_overlap(self, market, job):
+        # A plateau pinned to slot 0, above the bid, lasting longer than
+        # the job, must visibly delay the earliest runs.
+        history, future = market
+        suite = {
+            "wall": (
+                PricePlateau(level=10.0, duration_slots=60, start_slot=0),
+            ),
+        }
+        report = run_chaos(
+            history, future, job, ondemand_price=0.35,
+            suite=suite, n_starts=2,
+        )
+        (wall,) = report.results
+        assert wall.time_delta > 0 or wall.completion_delta < 0
+
+    def test_one_time_strategy_executes_as_one_time(self, market, job):
+        history, future = market
+        report = run_chaos(
+            history, future, job, ondemand_price=0.35,
+            strategy=Strategy.ONE_TIME, n_starts=2,
+        )
+        assert report.strategy is Strategy.ONE_TIME
+
+    def test_table_renders_every_class(self, market, job):
+        history, future = market
+        report = run_chaos(
+            history, future, job, ondemand_price=0.35, n_starts=2
+        )
+        table = report.table()
+        for name in FAULT_CLASSES:
+            assert name in table
+        assert "Δcost" in table

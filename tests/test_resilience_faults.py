@@ -1,0 +1,221 @@
+"""Fault injection: specs, plans, injectors, and the streaming source."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError, MarketError
+from repro.market.price_sources import TracePriceSource
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyPriceSource,
+    PricePlateau,
+    PriceSpike,
+    RevocationStorm,
+    SlotDropout,
+    SlotDuplication,
+    TraceTruncation,
+)
+from repro.traces.history import SpotPriceHistory
+
+
+@pytest.fixture
+def prices(rng):
+    return rng.uniform(0.02, 0.1, size=500)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: PriceSpike(rate=-0.1),
+            lambda: PriceSpike(rate=1.5),
+            lambda: PriceSpike(magnitude=0.0),
+            lambda: PriceSpike(width=0),
+            lambda: PricePlateau(level=0.0, duration_slots=5),
+            lambda: PricePlateau(level=0.2, duration_slots=0),
+            lambda: PricePlateau(level=0.2, duration_slots=5, start_slot=-1),
+            lambda: SlotDropout(rate=2.0),
+            lambda: SlotDuplication(rate=-0.5),
+            lambda: RevocationStorm(level=-1.0),
+            lambda: RevocationStorm(level=0.2, bursts=0),
+            lambda: RevocationStorm(level=0.2, burst_slots=0),
+            lambda: TraceTruncation(fraction=0.0),
+            lambda: TraceTruncation(fraction=1.5),
+        ],
+    )
+    def test_invalid_parameters_raise_fault_error(self, make):
+        with pytest.raises(FaultError):
+            make()
+
+    def test_kind_is_kebab_cased_class_name(self):
+        assert PriceSpike().kind == "price-spike"
+        assert TraceTruncation().kind == "trace-truncation"
+
+
+class TestFaultPlan:
+    def test_multiplier_then_override_then_emission(self):
+        plan = FaultPlan(
+            multiplier=np.array([2.0, 1.0, 1.0]),
+            override=np.array([np.nan, 9.0, np.nan]),
+            emit_counts=np.array([1, 1, 0]),
+        )
+        out = plan.apply(np.array([0.5, 0.5, 0.5]))
+        assert out.tolist() == [1.0, 9.0]
+
+    def test_empty_result_raises(self):
+        plan = FaultPlan(emit_counts=np.zeros(3, dtype=np.int64))
+        with pytest.raises(FaultError, match="removed every slot"):
+            plan.apply(np.ones(3))
+
+
+class TestSpecEffects:
+    def test_spike_multiplies_some_slots(self, prices):
+        rng = np.random.default_rng(0)
+        plan = PriceSpike(rate=0.1, magnitude=10.0).plan(rng, prices.size)
+        out = plan.apply(prices)
+        assert out.size == prices.size
+        spiked = out > prices * 5
+        assert 0 < spiked.sum() <= prices.size * 0.2
+
+    def test_plateau_holds_the_level(self, prices):
+        spec = PricePlateau(level=7.0, duration_slots=20, start_slot=100)
+        out = spec.plan(np.random.default_rng(0), prices.size).apply(prices)
+        assert (out[100:120] == 7.0).all()
+        assert (out[:100] == prices[:100]).all()
+
+    def test_dropout_shrinks_and_duplication_grows(self, prices):
+        rng = np.random.default_rng(0)
+        dropped = SlotDropout(rate=0.2).plan(rng, prices.size).apply(prices)
+        rng = np.random.default_rng(0)
+        doubled = SlotDuplication(rate=0.2).plan(rng, prices.size).apply(prices)
+        assert dropped.size < prices.size
+        assert doubled.size > prices.size
+
+    def test_dropout_never_deletes_everything(self):
+        plan = SlotDropout(rate=1.0).plan(np.random.default_rng(0), 10)
+        assert plan.apply(np.ones(10)).size == 1
+
+    def test_truncation_keeps_leading_fraction(self, prices):
+        out = (
+            TraceTruncation(fraction=0.25)
+            .plan(np.random.default_rng(0), prices.size)
+            .apply(prices)
+        )
+        assert out.size == prices.size // 4
+        assert (out == prices[: out.size]).all()
+
+    def test_storm_writes_bursts_at_level(self, prices):
+        spec = RevocationStorm(level=5.0, bursts=3, burst_slots=4)
+        out = spec.plan(np.random.default_rng(0), prices.size).apply(prices)
+        assert (out == 5.0).sum() >= 4
+
+
+class TestFaultInjector:
+    def test_requires_specs(self):
+        with pytest.raises(FaultError):
+            FaultInjector([])
+        with pytest.raises(FaultError, match="not a FaultSpec"):
+            FaultInjector(["spike"])
+
+    def test_same_seed_same_output(self, prices):
+        a = FaultInjector([PriceSpike(rate=0.1), SlotDropout()], seed=7)
+        b = FaultInjector([PriceSpike(rate=0.1), SlotDropout()], seed=7)
+        assert (a.perturb_prices(prices) == b.perturb_prices(prices)).all()
+
+    def test_different_seeds_differ(self, prices):
+        a = FaultInjector([SlotDropout(rate=0.3)], seed=1)
+        b = FaultInjector([SlotDropout(rate=0.3)], seed=2)
+        out_a, out_b = a.perturb_prices(prices), b.perturb_prices(prices)
+        assert out_a.size != out_b.size or not (out_a == out_b).all()
+
+    def test_derive_gives_independent_streams(self, prices):
+        root = FaultInjector([SlotDropout(rate=0.3)], seed=7)
+        out0 = root.derive(0).perturb_prices(prices)
+        out1 = root.derive(1).perturb_prices(prices)
+        assert out0.size != out1.size or not (out0 == out1).all()
+        # ... but deriving the same index twice replays exactly.
+        again = root.derive(0).perturb_prices(prices)
+        assert (out0 == again).all()
+
+    def test_perturb_history_preserves_metadata(self, prices):
+        history = SpotPriceHistory(
+            prices=prices, slot_length=1 / 12, start_hour=5.0,
+            instance_type="r3.xlarge",
+        )
+        injector = FaultInjector([PriceSpike(rate=0.05)], seed=3)
+        out = injector.perturb_history(history)
+        assert out.slot_length == history.slot_length
+        assert out.start_hour == history.start_hour
+        assert out.instance_type == history.instance_type
+
+    def test_rejects_bad_prices(self):
+        injector = FaultInjector([PriceSpike()], seed=0)
+        with pytest.raises(FaultError):
+            injector.perturb_prices(np.ones((2, 2)))
+        with pytest.raises(FaultError):
+            injector.perturb_prices(np.array([]))
+
+
+class TestFaultyPriceSource:
+    def _drain(self, source):
+        out = []
+        while True:
+            try:
+                out.append(source.next_price())
+            except MarketError:
+                return np.asarray(out)
+
+    def test_streaming_matches_offline_rewrite(self, prices):
+        # Price-transform faults (no resizing) must agree exactly between
+        # the trace-rewrite path and the streaming path.
+        specs = [
+            PriceSpike(rate=0.1, magnitude=3.0),
+            PricePlateau(level=0.5, duration_slots=30),
+        ]
+        history = SpotPriceHistory(prices=prices)
+        injector = FaultInjector(specs, seed=11)
+        offline = injector.perturb_prices(prices)
+        streamed = self._drain(
+            injector.price_source(TracePriceSource(history))
+        )
+        assert (streamed == offline).all()
+
+    def test_dropout_and_duplication_resize_the_stream(self, prices):
+        history = SpotPriceHistory(prices=prices)
+        dup = FaultInjector([SlotDuplication(rate=0.2)], seed=5)
+        streamed = self._drain(dup.price_source(TracePriceSource(history)))
+        assert streamed.size > prices.size
+
+    def test_truncation_raises_market_error(self, prices):
+        history = SpotPriceHistory(prices=prices)
+        injector = FaultInjector([TraceTruncation(fraction=0.1)], seed=0)
+        source = injector.price_source(TracePriceSource(history))
+        for _ in range(prices.size // 10):
+            source.next_price()
+        with pytest.raises(MarketError, match="truncated"):
+            source.next_price()
+
+    def test_unbounded_source_needs_horizon(self):
+        class Endless:
+            def next_price(self):
+                return 0.05  # pragma: no cover - never reached
+
+            def remaining_slots(self):
+                return None
+
+        injector = FaultInjector([PriceSpike()], seed=0)
+        with pytest.raises(FaultError, match="horizon"):
+            injector.price_source(Endless())
+        wrapped = injector.price_source(Endless(), horizon=10)
+        assert wrapped.remaining_slots() == 10
+
+    def test_remaining_slots_counts_down(self, prices):
+        history = SpotPriceHistory(prices=prices[:20])
+        injector = FaultInjector([PriceSpike(rate=0.0)], seed=0)
+        source = injector.price_source(TracePriceSource(history))
+        assert source.remaining_slots() == 20
+        source.next_price()
+        assert source.remaining_slots() == 19

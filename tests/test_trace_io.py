@@ -68,3 +68,65 @@ class TestMalformedInput:
         parsed = loads_csv(text)
         assert parsed.slot_length == 0.25
         assert parsed.n_slots == 1
+
+
+def _csv(rows):
+    return "slot,time_hours,price\n" + "\n".join(rows) + "\n"
+
+
+class TestRowIndexInErrors:
+    """Errors name the offending 0-based data-row index."""
+
+    def test_non_numeric_timestamp_names_the_row(self):
+        text = _csv(["0,0.0,0.1", "1,later,0.1"])
+        with pytest.raises(TraceError, match="data row 1"):
+            loads_csv(text)
+
+    def test_non_numeric_price_names_the_row(self):
+        text = _csv(["0,0.0,0.1", "1,0.5,0.1", "2,1.0,cheap"])
+        with pytest.raises(TraceError, match="data row 2"):
+            loads_csv(text)
+
+    def test_non_finite_price_names_the_row(self):
+        text = _csv(["0,0.0,0.1", "1,0.5,inf"])
+        with pytest.raises(TraceError, match="data row 1"):
+            loads_csv(text)
+
+    def test_out_of_order_timestamps_name_the_row(self):
+        text = _csv(["0,0.0,0.1", "1,1.0,0.1", "2,0.5,0.1"])
+        with pytest.raises(TraceError, match="data row 2.*repair=True"):
+            loads_csv(text)
+
+    def test_negative_price_names_the_row(self):
+        text = _csv(["0,0.0,0.1", "1,0.5,-0.02"])
+        with pytest.raises(TraceError, match="data row 1.*repair=True"):
+            loads_csv(text)
+
+
+class TestRepair:
+    def test_repair_sorts_and_clips_with_warning(self):
+        text = _csv(["0,0.0,0.3", "1,1.0,-0.1", "2,0.5,0.2"])
+        with pytest.warns(UserWarning, match="1 out-of-order.*1 negative"):
+            parsed = loads_csv(text, repair=True)
+        np.testing.assert_allclose(parsed.prices, [0.3, 0.2, 0.0])
+
+    def test_repair_is_silent_on_clean_input(self, history):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parsed = loads_csv(dumps_csv(history), repair=True)
+        np.testing.assert_allclose(parsed.prices, history.prices)
+
+    def test_repair_does_not_mask_parse_errors(self):
+        with pytest.raises(TraceError, match="non-numeric"):
+            loads_csv(_csv(["0,0.0,cheap"]), repair=True)
+
+    def test_read_csv_forwards_repair(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(_csv(["0,0.0,0.3", "1,1.0,-0.1", "2,0.5,0.2"]))
+        with pytest.raises(TraceError):
+            read_csv(path)
+        with pytest.warns(UserWarning):
+            parsed = read_csv(path, repair=True)
+        assert parsed.n_slots == 3

@@ -1,6 +1,7 @@
 """Core value types: validation and derived quantities."""
 
 import math
+import warnings
 
 import pytest
 
@@ -14,6 +15,8 @@ from repro.core.types import (
     MapReduceJobSpec,
     MapReducePlan,
     ParallelJobSpec,
+    Strategy,
+    normalize_strategy,
 )
 from repro.errors import PlanError
 
@@ -177,3 +180,62 @@ class TestCompletionStats:
     def test_finalize_handles_zero_running_time(self):
         stats = CompletionStats().finalize()
         assert stats.charged_price_per_hour == 0.0
+
+
+class TestNormalizeStrategy:
+    """The deprecated string shim: mapping, warning, and dedup behavior."""
+
+    def test_enum_members_pass_through_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for member in Strategy:
+                assert normalize_strategy(member) is member
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("one-time", Strategy.ONE_TIME),
+            ("onetime", Strategy.ONE_TIME),
+            ("one_time", Strategy.ONE_TIME),
+            ("persistent", Strategy.PERSISTENT),
+            ("percentile", Strategy.PERCENTILE),
+            ("  Persistent ", Strategy.PERSISTENT),
+            ("ONE-TIME", Strategy.ONE_TIME),
+        ],
+    )
+    def test_legacy_strings_map_and_warn(self, alias, expected):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert normalize_strategy(alias) is expected
+
+    def test_warning_names_the_replacement_member(self):
+        with pytest.warns(DeprecationWarning, match="Strategy.PERSISTENT"):
+            normalize_strategy("persistent")
+
+    def test_unknown_strategy_raises_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError, match="unknown strategy"):
+                normalize_strategy("yolo")
+            with pytest.raises(ValueError):
+                normalize_strategy(object())
+
+    def test_warns_exactly_once_per_call_site(self):
+        # normalize_strategy points the warning at the *API caller* via
+        # stacklevel, so under the default filter a loop hammering one
+        # call site warns once, while distinct call sites each warn.
+        def site_a():
+            return normalize_strategy("persistent")
+
+        def site_b():
+            return normalize_strategy("one-time")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(5):
+                site_a()
+            for _ in range(3):
+                site_b()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
