@@ -1,0 +1,24 @@
+"""Kernel benchmark harness: the repo's recorded perf trajectory.
+
+``repro-bid bench`` runs the canonical sweep-kernel workloads in
+:mod:`repro.bench.cases` against both kernel families (event-driven and
+dense reference), verifies their outputs are bitwise identical while the
+clock is running honest, and emits a versioned ``BENCH_sweep.json``
+snapshot.  :mod:`repro.bench.compare` gates changes: a run whose speedup
+falls more than the tolerance below the committed baseline fails.
+"""
+
+from .cases import BenchCase, CASES, case_names, quick_case_names, select_cases
+from .compare import Regression, compare_reports
+from .runner import run_benchmarks
+
+__all__ = [
+    "BenchCase",
+    "CASES",
+    "Regression",
+    "case_names",
+    "compare_reports",
+    "quick_case_names",
+    "run_benchmarks",
+    "select_cases",
+]

@@ -1,0 +1,169 @@
+"""Canonical sweep-kernel benchmark workloads.
+
+Each case pins a seeded synthetic workload — a floor-plus-spikes price
+stack of the same shape the paper's experiments sweep — so successive
+``BENCH_sweep.json`` snapshots measure the code, not the inputs.  The
+*large* persistent case (1k-slot traces × a 256-bid grid) is the
+acceptance workload for the event-driven kernels' speedup target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import Strategy
+
+__all__ = [
+    "BenchCase",
+    "CASES",
+    "case_names",
+    "quick_case_names",
+    "select_cases",
+]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One reproducible kernel workload."""
+
+    name: str
+    strategy: Strategy
+    n_traces: int
+    n_slots: int
+    n_bids: int
+    work: float
+    recovery_time: float
+    slot_length: float
+    seed: int
+    #: Ragged traces: fraction of each trace left valid (1.0 = dense).
+    min_valid_fraction: float = 1.0
+    #: Included in ``repro-bid bench --quick`` (CI smoke).
+    quick: bool = False
+
+    def build(self) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Materialize ``(prices, bids, n_valid)`` for this case.
+
+        Prices follow the familiar spot shape: a low floor most of the
+        time with occasional price spikes; bids span the floor-to-spike
+        range so the grid exercises never-running, always-running and
+        frequently-interrupted lanes alike.
+        """
+        rng = np.random.default_rng(self.seed)
+        floor = rng.uniform(0.02, 0.05, size=(self.n_traces, 1))
+        prices = floor + rng.exponential(0.01, size=(self.n_traces, self.n_slots))
+        spikes = rng.random((self.n_traces, self.n_slots)) < 0.08
+        prices = np.where(
+            spikes,
+            prices + rng.uniform(0.2, 1.0, size=prices.shape),
+            prices,
+        )
+        bids = np.linspace(0.02, 0.6, self.n_bids)
+        n_valid: Optional[np.ndarray] = None
+        if self.min_valid_fraction < 1.0:
+            lo = max(1, int(self.n_slots * self.min_valid_fraction))
+            n_valid = rng.integers(
+                lo, self.n_slots + 1, size=self.n_traces
+            ).astype(np.int64)
+            mask = np.arange(self.n_slots)[None, :] >= n_valid[:, None]
+            prices = np.where(mask, np.inf, prices)
+        return prices, bids, n_valid
+
+    @property
+    def lane_slots(self) -> int:
+        """Dense work volume: valid slots × bids (the O(S·T·B) measure)."""
+        if self.min_valid_fraction >= 1.0:
+            return self.n_traces * self.n_slots * self.n_bids
+        _, _, n_valid = self.build()
+        return int(n_valid.sum()) * self.n_bids
+
+
+CASES: List[BenchCase] = [
+    BenchCase(
+        name="persistent_large",
+        strategy=Strategy.PERSISTENT,
+        n_traces=24,
+        n_slots=1000,
+        n_bids=256,
+        work=10.0,
+        recovery_time=0.25,
+        slot_length=1.0,
+        seed=20150817,
+    ),
+    BenchCase(
+        name="onetime_large",
+        strategy=Strategy.ONE_TIME,
+        n_traces=24,
+        n_slots=1000,
+        n_bids=256,
+        work=4.0,
+        recovery_time=0.0,
+        slot_length=1.0,
+        seed=20150818,
+        quick=True,
+    ),
+    BenchCase(
+        name="persistent_ragged",
+        strategy=Strategy.PERSISTENT,
+        n_traces=32,
+        n_slots=800,
+        n_bids=64,
+        work=6.0,
+        recovery_time=0.5,
+        slot_length=1.0,
+        seed=20150819,
+        min_valid_fraction=0.25,
+    ),
+    BenchCase(
+        name="persistent_small",
+        strategy=Strategy.PERSISTENT,
+        n_traces=16,
+        n_slots=500,
+        n_bids=96,
+        work=5.0,
+        recovery_time=0.25,
+        slot_length=1.0,
+        seed=20150820,
+        quick=True,
+    ),
+    BenchCase(
+        name="onetime_small",
+        strategy=Strategy.ONE_TIME,
+        n_traces=16,
+        n_slots=1000,
+        n_bids=128,
+        work=2.0,
+        recovery_time=0.0,
+        slot_length=1.0,
+        seed=20150821,
+    ),
+]
+
+_BY_NAME: Dict[str, BenchCase] = {case.name: case for case in CASES}
+
+
+def case_names() -> List[str]:
+    return [case.name for case in CASES]
+
+
+def quick_case_names() -> List[str]:
+    return [case.name for case in CASES if case.quick]
+
+
+def select_cases(
+    names: Optional[Sequence[str]] = None, *, quick: bool = False
+) -> List[BenchCase]:
+    """Resolve a case selection: explicit names beat the quick flag."""
+    if names:
+        missing = [n for n in names if n not in _BY_NAME]
+        if missing:
+            raise ValueError(
+                f"unknown benchmark case(s) {missing}; "
+                f"available: {', '.join(case_names())}"
+            )
+        return [_BY_NAME[n] for n in names]
+    if quick:
+        return [case for case in CASES if case.quick]
+    return list(CASES)

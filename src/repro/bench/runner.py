@@ -1,0 +1,175 @@
+"""Benchmark execution: both kernel families, verified and timed.
+
+Every case runs the dense reference kernel and the event-driven kernel
+on identical inputs, takes the best wall time over ``repeats`` runs
+(minimum — the least-noise estimator for CPU-bound work), and checks the
+two result sets are bitwise identical before any number is reported.  A
+benchmark that reports a speedup for a kernel producing different
+answers would be worse than no benchmark at all.
+
+The report schema is versioned (``repro.bench/1``) so future trajectory
+points remain machine-readable next to this one.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.types import Strategy
+from ..sweep.kernels import (
+    onetime_sweep_kernel,
+    onetime_sweep_kernel_reference,
+    persistent_sweep_kernel,
+    persistent_sweep_kernel_reference,
+)
+from .cases import BenchCase, select_cases
+
+__all__ = ["SCHEMA", "run_benchmarks"]
+
+SCHEMA = "repro.bench/1"
+
+#: Result fields that must match bitwise between kernel families.
+_FIELDS = (
+    "completed",
+    "cost",
+    "completion_time",
+    "running_time",
+    "idle_time",
+    "recovery_time_used",
+    "interruptions",
+)
+
+
+def _machine_info() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _kernel_callable(case: BenchCase, reference: bool) -> Callable[..., dict]:
+    if case.strategy is Strategy.ONE_TIME:
+        kernel = (
+            onetime_sweep_kernel_reference if reference else onetime_sweep_kernel
+        )
+
+        def run(prices, bids, n_valid):
+            return kernel(
+                prices,
+                bids,
+                work=case.work,
+                slot_length=case.slot_length,
+                n_valid=n_valid,
+            )
+
+    else:
+        kernel = (
+            persistent_sweep_kernel_reference
+            if reference
+            else persistent_sweep_kernel
+        )
+
+        def run(prices, bids, n_valid):
+            return kernel(
+                prices,
+                bids,
+                work=case.work,
+                recovery_time=case.recovery_time,
+                slot_length=case.slot_length,
+                n_valid=n_valid,
+            )
+
+    return run
+
+
+def _time_kernel(run: Callable[..., dict], inputs, repeats: int):
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run(*inputs)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _bitwise_equal(a: dict, b: dict) -> bool:
+    return all(np.array_equal(a[f], b[f], equal_nan=True) for f in _FIELDS)
+
+
+def _throughput(case: BenchCase, lane_slots: int, wall: float) -> Dict[str, float]:
+    return {
+        "wall_seconds": wall,
+        "slots_per_sec": lane_slots / wall if wall > 0 else float("inf"),
+        "lanes_per_sec": (
+            case.n_traces * case.n_bids / wall if wall > 0 else float("inf")
+        ),
+    }
+
+
+def run_benchmarks(
+    *,
+    cases: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark suite and return the ``repro.bench/1`` report.
+
+    ``repeats`` defaults to 5 in quick mode (the cases are small and
+    min-of-many suppresses CI timer noise) and 3 otherwise.  ``progress``
+    (if given) receives one line per finished case.
+    """
+    selected = select_cases(cases, quick=quick)
+    if repeats is None:
+        repeats = 5 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+
+    rows: List[Dict[str, object]] = []
+    for case in selected:
+        inputs = case.build()
+        lane_slots = case.lane_slots
+        ref_wall, ref_result = _time_kernel(
+            _kernel_callable(case, reference=True), inputs, repeats
+        )
+        event_wall, event_result = _time_kernel(
+            _kernel_callable(case, reference=False), inputs, repeats
+        )
+        equal = _bitwise_equal(ref_result, event_result)
+        row = {
+            "name": case.name,
+            "strategy": case.strategy.value,
+            "n_traces": case.n_traces,
+            "n_slots": case.n_slots,
+            "n_bids": case.n_bids,
+            "lane_slots": lane_slots,
+            "repeats": repeats,
+            "reference": _throughput(case, lane_slots, ref_wall),
+            "event": _throughput(case, lane_slots, event_wall),
+            "speedup": ref_wall / event_wall if event_wall > 0 else float("inf"),
+            "events_processed": int(event_result["slots_simulated"]),
+            "bitwise_equal": bool(equal),
+        }
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{case.name}: ref {ref_wall * 1e3:.1f}ms, "
+                f"event {event_wall * 1e3:.1f}ms, "
+                f"speedup {row['speedup']:.2f}x, "
+                f"bitwise={'OK' if equal else 'MISMATCH'}"
+            )
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "machine": _machine_info(),
+        "cases": rows,
+    }

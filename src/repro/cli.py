@@ -16,6 +16,9 @@ Subcommands
 ``mapreduce``  Plan a master/slave cluster bid (eq. 20).
 ``chaos``      Stress a bid under injected market faults and report
                per-fault-class cost/completion degradation.
+``bench``      Benchmark the sweep kernels (event vs reference), emit a
+               ``BENCH_*.json`` trajectory point, and gate regressions
+               against a committed baseline.
 ``catalog``    List the built-in instance types.
 
 Examples
@@ -245,6 +248,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--starts", type=_positive_int, default=8,
         help="number of start slots sampled across the future",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the sweep kernels and gate regressions"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="run only the small smoke cases (CI default)",
+    )
+    p_bench.add_argument(
+        "--cases", nargs="+", default=None, metavar="NAME",
+        help="explicit benchmark case names (overrides --quick)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=_positive_int, default=None,
+        help="timed repetitions per kernel (best-of; default 3, quick 5)",
+    )
+    p_bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the BENCH_*.json report here",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against this committed report and fail on regression",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=_positive_float, default=None,
+        help="allowed fractional speedup drop vs baseline (default 0.2)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="list available cases and exit",
     )
 
     sub.add_parser("catalog", help="list built-in instance types")
@@ -563,6 +598,75 @@ def _cmd_catalog(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import (
+        CASES,
+        compare_reports,
+        quick_case_names,
+        run_benchmarks,
+    )
+    from .bench.compare import DEFAULT_TOLERANCE
+
+    if args.list_cases:
+        quick = set(quick_case_names())
+        for case in CASES:
+            tag = " (quick)" if case.name in quick else ""
+            print(
+                f"{case.name:20s} {case.strategy.value:10s} "
+                f"{case.n_traces}x{case.n_slots}x{case.n_bids}{tag}"
+            )
+        return 0
+
+    try:
+        report = run_benchmarks(
+            cases=args.cases,
+            quick=args.quick,
+            repeats=args.repeats,
+            progress=print,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    broken = [row["name"] for row in report["cases"] if not row["bitwise_equal"]]
+    if broken:
+        print(
+            f"error: event kernels diverged from reference on: "
+            f"{', '.join(broken)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        try:
+            regressions = compare_reports(
+                report, baseline, tolerance=tolerance
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        if regressions:
+            for regression in regressions:
+                print(f"regression: {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"no regressions vs {args.baseline} "
+            f"(tolerance {tolerance:.0%})"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -578,6 +682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "options": _cmd_options,
         "mapreduce": _cmd_mapreduce,
         "chaos": _cmd_chaos,
+        "bench": _cmd_bench,
         "catalog": _cmd_catalog,
     }
     try:

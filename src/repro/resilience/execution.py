@@ -256,29 +256,28 @@ def run_items(
     last_errors: Dict[int, BaseException] = {}
     attempts = {i: 0 for i in todo}
 
-    def run_round(indices: List[int]) -> List[int]:
+    def run_round(indices: List[int], pool) -> List[int]:
         """Try each index once; returns the indices that failed."""
         failed: List[int] = []
-        if use_pool:
-            with pool_cls(max_workers=min(workers, max(1, len(indices)))) as pool:
-                futures = [(i, pool.submit(fn, items[i])) for i in indices]
-                for i, future in futures:
-                    attempts[i] += 1
-                    try:
-                        outcome = future.result(timeout=timeout)
-                    except FutureTimeoutError:
-                        future.cancel()
-                        last_errors[i] = TimeoutError(
-                            f"no result within {timeout:g}s"
-                        )
-                        failed.append(i)
-                    except Exception as exc:
-                        last_errors[i] = exc
-                        failed.append(i)
-                    else:
-                        results[i] = outcome
-                        if journal is not None:
-                            journal.record(keys[i], serialize(outcome))
+        if pool is not None:
+            futures = [(i, pool.submit(fn, items[i])) for i in indices]
+            for i, future in futures:
+                attempts[i] += 1
+                try:
+                    outcome = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    last_errors[i] = TimeoutError(
+                        f"no result within {timeout:g}s"
+                    )
+                    failed.append(i)
+                except Exception as exc:
+                    last_errors[i] = exc
+                    failed.append(i)
+                else:
+                    results[i] = outcome
+                    if journal is not None:
+                        journal.record(keys[i], serialize(outcome))
         else:
             for i in indices:
                 attempts[i] += 1
@@ -293,15 +292,29 @@ def run_items(
                         journal.record(keys[i], serialize(outcome))
         return failed
 
-    pending = todo
-    for retry in range(retries + 1):
-        if not pending:
-            break
-        if retry > 0:
-            delay = backoff.delay(retry - 1)
-            if delay > 0:
-                sleep(delay)
-        pending = run_round(pending)
+    def run_rounds(pool) -> List[int]:
+        pending = todo
+        for retry in range(retries + 1):
+            if not pending:
+                break
+            if retry > 0:
+                delay = backoff.delay(retry - 1)
+                if delay > 0:
+                    sleep(delay)
+            pending = run_round(pending, pool)
+        return pending
+
+    # One pool serves every retry round: workers (and, for process
+    # pools, their attached shared-memory segments and warm caches)
+    # survive across rounds instead of being torn down and respawned.
+    # The trade-off: a worker that blew its timeout keeps occupying a
+    # slot until it actually finishes, rather than being abandoned with
+    # the round's pool.
+    if use_pool and todo:
+        with pool_cls(max_workers=min(workers, max(1, len(todo)))) as pool:
+            pending = run_rounds(pool)
+    else:
+        pending = run_rounds(None)
 
     failures = tuple(
         ItemFailure(

@@ -20,8 +20,14 @@ from .cache import (
     distribution_cache_stats,
 )
 from .engine import map_traces, run_sweep
-from .kernels import onetime_sweep_kernel, persistent_sweep_kernel
+from .kernels import (
+    onetime_sweep_kernel,
+    onetime_sweep_kernel_reference,
+    persistent_sweep_kernel,
+    persistent_sweep_kernel_reference,
+)
 from .report import SweepCounters, SweepReport
+from .shm import SharedPriceStack, StackDescriptor
 
 __all__ = [
     "cached_distribution",
@@ -30,7 +36,11 @@ __all__ = [
     "map_traces",
     "run_sweep",
     "onetime_sweep_kernel",
+    "onetime_sweep_kernel_reference",
     "persistent_sweep_kernel",
+    "persistent_sweep_kernel_reference",
+    "SharedPriceStack",
+    "StackDescriptor",
     "SweepCounters",
     "SweepReport",
 ]

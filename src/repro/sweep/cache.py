@@ -14,6 +14,7 @@ feed the :class:`~repro.sweep.report.SweepCounters` diagnostics.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 from typing import Optional, Tuple, Union
@@ -28,8 +29,28 @@ __all__ = [
     "clear_distribution_cache",
 ]
 
-#: Maximum number of distinct histories kept alive by the cache.
+#: Default maximum number of distinct histories kept alive by the cache;
+#: override per process with the ``REPRO_DIST_CACHE_SIZE`` env var.
 _MAX_ENTRIES = 64
+
+
+def _max_entries() -> int:
+    """Effective cache bound — re-read per call so the env var also
+    works when set after import (e.g. in spawned pool workers)."""
+    raw = os.environ.get("REPRO_DIST_CACHE_SIZE", "").strip()
+    if not raw:
+        return _MAX_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
+        )
+    return value
 
 _lock = threading.Lock()
 _cache: "OrderedDict[Tuple[str, Optional[float]], EmpiricalPriceDistribution]" = (
@@ -69,7 +90,7 @@ def cached_distribution(
     with _lock:
         _misses += 1
         _cache[key] = dist
-        while len(_cache) > _MAX_ENTRIES:
+        while len(_cache) > _max_entries():
             _cache.popitem(last=False)
     return dist
 

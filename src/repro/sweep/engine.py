@@ -30,8 +30,14 @@ import numpy as np
 from ..core.types import JobSpec, Strategy, normalize_strategy
 from ..errors import MarketError
 from . import cache as _cache
-from .kernels import onetime_sweep_kernel, persistent_sweep_kernel
+from .kernels import (
+    onetime_sweep_kernel,
+    onetime_sweep_kernel_reference,
+    persistent_sweep_kernel,
+    persistent_sweep_kernel_reference,
+)
 from .report import SweepCounters, SweepReport
+from .shm import SharedPriceStack, open_stack
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.execution import BackoffPolicy, SweepJournal
@@ -203,21 +209,66 @@ def map_traces(
         return list(pool.map(fn, items))
 
 
+def _select_kernels():
+    """Kernel pair chosen by ``REPRO_SWEEP_KERNEL`` (``event`` default,
+    ``reference`` for the dense oracle path).  Read per call so workers
+    — which inherit the parent's environment — honor the same choice."""
+    mode = os.environ.get("REPRO_SWEEP_KERNEL", "event").strip().lower()
+    if mode in ("", "event"):
+        return onetime_sweep_kernel, persistent_sweep_kernel
+    if mode == "reference":
+        return onetime_sweep_kernel_reference, persistent_sweep_kernel_reference
+    raise MarketError(
+        f"REPRO_SWEEP_KERNEL must be 'event' or 'reference', got {mode!r}"
+    )
+
+
+def _resolve_payload(payload):
+    """Materialize a chunk payload into ``(prices, n_valid)`` arrays.
+
+    ``("inline", prices, n_valid)`` carries the arrays by value (serial
+    and thread execution);  ``("shm", descriptor, lo, hi)`` maps the
+    shared segment and slices rows ``[lo, hi)`` without copying.
+    """
+    kind = payload[0]
+    if kind == "shm":
+        _, descriptor, lo, hi = payload
+        prices, n_valid = open_stack(descriptor)
+        return prices[lo:hi], n_valid[lo:hi]
+    if kind == "inline":
+        _, prices, n_valid = payload
+        return prices, n_valid
+    raise MarketError(f"unknown chunk payload kind {kind!r}")
+
+
 def _run_kernel_chunk(args):
-    """Top-level (picklable) kernel dispatcher for executor fan-out."""
-    strategy_value, prices, bids, n_valid, work, recovery_time, slot_length = args
+    """Top-level (picklable) kernel dispatcher for executor fan-out.
+
+    Besides the kernel fields, the returned dict reports the chunk's
+    distribution-cache hit/miss delta so process workers — whose caches
+    are invisible to the parent — still feed ``SweepCounters``.
+    """
+    strategy_value, payload, bids, work, recovery_time, slot_length = args
+    prices, n_valid = _resolve_payload(payload)
+    onetime_kernel, persistent_kernel = _select_kernels()
+    hits0, misses0 = _cache.distribution_cache_stats()
     if Strategy(strategy_value) is Strategy.ONE_TIME:
-        return onetime_sweep_kernel(
+        result = onetime_kernel(
             prices, bids, work=work, slot_length=slot_length, n_valid=n_valid
         )
-    return persistent_sweep_kernel(
-        prices,
-        bids,
-        work=work,
-        recovery_time=recovery_time,
-        slot_length=slot_length,
-        n_valid=n_valid,
-    )
+    else:
+        result = persistent_kernel(
+            prices,
+            bids,
+            work=work,
+            recovery_time=recovery_time,
+            slot_length=slot_length,
+            n_valid=n_valid,
+        )
+    hits1, misses1 = _cache.distribution_cache_stats()
+    result["cache_hits"] = hits1 - hits0
+    result["cache_misses"] = misses1 - misses0
+    return result
 
 
 def _serialize_kernel_result(result: dict) -> dict:
@@ -255,6 +306,8 @@ def _failure_placeholder(n_bids: int) -> dict:
         "recovery_time_used": np.full((1, n_bids), np.nan),
         "interruptions": np.zeros((1, n_bids), dtype=np.int64),
         "slots_simulated": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
     }
 
 
@@ -371,78 +424,129 @@ def run_sweep(
     else:
         chunks = [np.arange(n_traces)]
 
-    args = []
-    for idx in chunks:
-        chunk_bids = kernel_bids[idx] if pair_bids else kernel_bids
-        args.append(
-            (
-                strategy.value,
-                matrix[idx],
-                chunk_bids,
-                n_valid[idx],
-                job.execution_time,
-                recovery,
-                job.slot_length,
-            )
-        )
-
-    failures = ()
-    started = time.perf_counter()
+    # Chunks cross a process boundary exactly when a process pool will
+    # actually be used; only then is the price stack worth sharing (and
+    # only then do worker-local cache counters need merging back).
     if resilient:
-        from ..resilience.execution import SweepJournal
-
-        if journal is not None and not isinstance(journal, SweepJournal):
-            journal = SweepJournal(
-                journal,
-                signature={
-                    "strategy": strategy.value,
-                    "execution_time": job.execution_time,
-                    "recovery_time": recovery,
-                    "slot_length": job.slot_length,
-                    "pair_bids": pair_bids,
-                    "bids": [float(b) for b in bid_values],
-                    "n_traces": n_traces,
-                },
-            )
-        execution = map_traces(
-            _run_kernel_chunk,
-            args,
-            max_workers=max_workers,
-            executor=executor,
-            retries=retries,
-            backoff=backoff,
-            timeout=item_timeout,
-            strict=strict,
-            labels=[f"trace {i}" for i in range(n_traces)],
-            journal=journal,
-            keys=[f"trace:{i}" for i in range(n_traces)],
-            serialize=_serialize_kernel_result,
-            deserialize=_deserialize_kernel_result,
-            return_failures=True,
+        out_of_process = executor == "process" and (
+            (max_workers is not None and max_workers > 1)
+            or item_timeout is not None
         )
-        failures = execution.failures
-        results = [
-            r if r is not None else _failure_placeholder(n_cols)
-            for r in execution.results
-        ]
     else:
-        results = map_traces(
-            _run_kernel_chunk, args, max_workers=max_workers, executor=executor
+        out_of_process = (
+            executor == "process"
+            and max_workers is not None
+            and max_workers > 1
+            and len(chunks) > 1
         )
-    kernel_seconds = time.perf_counter() - started
+
+    stack: Optional[SharedPriceStack] = None
+    try:
+        if out_of_process:
+            # Zero-copy fan-out: the (T, S) matrix and n_valid live in one
+            # shared-memory segment; workers get (name, shape, row-bounds).
+            # Retry rounds and journal-resumed runs reuse the same segment.
+            stack = SharedPriceStack(matrix, n_valid)
+
+        args = []
+        for idx in chunks:
+            chunk_bids = kernel_bids[idx] if pair_bids else kernel_bids
+            if stack is not None:
+                payload = ("shm", stack.descriptor, int(idx[0]), int(idx[-1]) + 1)
+            else:
+                payload = ("inline", matrix[idx], n_valid[idx])
+            args.append(
+                (
+                    strategy.value,
+                    payload,
+                    chunk_bids,
+                    job.execution_time,
+                    recovery,
+                    job.slot_length,
+                )
+            )
+
+        failures = ()
+        reused: frozenset = frozenset()
+        started = time.perf_counter()
+        if resilient:
+            from ..resilience.execution import SweepJournal
+
+            if journal is not None and not isinstance(journal, SweepJournal):
+                journal = SweepJournal(
+                    journal,
+                    signature={
+                        "strategy": strategy.value,
+                        "execution_time": job.execution_time,
+                        "recovery_time": recovery,
+                        "slot_length": job.slot_length,
+                        "pair_bids": pair_bids,
+                        "bids": [float(b) for b in bid_values],
+                        "n_traces": n_traces,
+                    },
+                )
+            execution = map_traces(
+                _run_kernel_chunk,
+                args,
+                max_workers=max_workers,
+                executor=executor,
+                retries=retries,
+                backoff=backoff,
+                timeout=item_timeout,
+                strict=strict,
+                labels=[f"trace {i}" for i in range(n_traces)],
+                journal=journal,
+                keys=[f"trace:{i}" for i in range(n_traces)],
+                serialize=_serialize_kernel_result,
+                deserialize=_deserialize_kernel_result,
+                return_failures=True,
+            )
+            failures = execution.failures
+            reused = frozenset(execution.reused)
+            results = [
+                r if r is not None else _failure_placeholder(n_cols)
+                for r in execution.results
+            ]
+        else:
+            results = map_traces(
+                _run_kernel_chunk, args, max_workers=max_workers, executor=executor
+            )
+        kernel_seconds = time.perf_counter() - started
+    finally:
+        if stack is not None:
+            stack.close()
 
     merged = {
         key: np.concatenate([r[key] for r in results], axis=0) for key in _FIELDS
     }
     slots = int(sum(r["slots_simulated"] for r in results))
     hits1, misses1 = _cache.distribution_cache_stats()
+    # In-process chunks already moved the parent counters; process-pool
+    # chunks report their own worker-local deltas (journal-reused items
+    # excluded — their recorded deltas were spent in an earlier run).
+    worker_hits = worker_misses = 0
+    if out_of_process:
+        worker_hits = int(
+            sum(
+                r.get("cache_hits", 0)
+                for i, r in enumerate(results)
+                if i not in reused
+            )
+        )
+        worker_misses = int(
+            sum(
+                r.get("cache_misses", 0)
+                for i, r in enumerate(results)
+                if i not in reused
+            )
+        )
     counters = SweepCounters(
         n_traces=n_traces,
         n_bids=n_cols,
         slots_simulated=slots,
         kernel_seconds=kernel_seconds,
-        cache_hits=hits1 - hits0,
-        cache_misses=misses1 - misses0,
+        cache_hits=(hits1 - hits0) + worker_hits,
+        cache_misses=(misses1 - misses0) + worker_misses,
     )
     return SweepReport(
         strategy=strategy,

@@ -1,24 +1,37 @@
-"""Slot-batched backtest kernels vectorized over bids and traces.
+"""Sweep kernels: the reference slot-batched loops and shared preparation.
 
-Each kernel replays the scalar :mod:`repro.market.fastpath` oracle over a
-whole ``(trace, bid)`` grid at once: the per-slot state lives in
-``(n_traces, n_bids)`` arrays and every slot performs the *same*
-elementwise float operations, in the same order, as the scalar
-accumulation — so the resulting costs are **bitwise identical** to the
-oracle (and therefore to the full market engine up to its tested
-tolerance).  That property is load-bearing: the equivalence tests compare
-cells with ``==``, not ``isclose``.
+Two kernel families evaluate a whole ``(trace, bid)`` grid against the
+scalar :mod:`repro.market.fastpath` oracle:
+
+* the **reference kernels** in this module
+  (:func:`persistent_sweep_kernel_reference`,
+  :func:`onetime_sweep_kernel_reference`) step slot-by-slot with dense
+  ``(n_traces, n_bids)`` state matrices — simple, audited, and the
+  ground truth the rest of the stack is measured against;
+* the **event-driven kernels** in :mod:`repro.sweep.events`
+  (re-exported here as :func:`persistent_sweep_kernel` and
+  :func:`onetime_sweep_kernel`) advance each lane only at its accepted
+  slots and compact completed lanes away, eliminating the
+  ``O(slots x traces x bids)`` dense-mask work while producing
+  **bitwise identical** outputs.
+
+Both families perform the *same* elementwise float operations, in the
+same per-lane order, as the scalar oracle — so costs agree with ``==``,
+not ``isclose``.  That property is load-bearing: the equivalence tests
+compare cells exactly, and the event kernels are only allowed to skip
+slots that are pure no-ops for a lane (rejected slots touch no
+accumulator).
 
 Design notes
 ------------
-* The slot loop stays in Python; only the per-slot state update is
-  vectorized.  Pairwise-summing reductions (``np.sum``/``cumsum``) would
-  change the floating-point result and break bitwise equality.
 * Trace stacks may be ragged: pad rows with ``+inf`` (never accepted)
-  and pass the true lengths via ``n_valid``.
-* Lanes whose bid never beats any price are resolved in closed form and
-  excluded from the loop; the loop exits early once every lane that can
-  finish has finished.
+  and pass the true lengths via ``n_valid``.  Slots at or beyond a
+  trace's ``n_valid`` must hold ``+inf``; the kernels' behaviour on
+  finite garbage padding is undefined.
+* Pairwise-summing reductions over a lane's cost chain (``np.sum``, or
+  regrouping a sequential chain through prefix sums) would change the
+  floating-point result and break bitwise equality; only per-slot
+  sequential accumulation is allowed on float state.
 """
 
 from __future__ import annotations
@@ -29,11 +42,41 @@ import numpy as np
 
 from ..errors import MarketError
 
-__all__ = ["onetime_sweep_kernel", "persistent_sweep_kernel"]
+__all__ = [
+    "onetime_sweep_kernel",
+    "onetime_sweep_kernel_reference",
+    "persistent_sweep_kernel",
+    "persistent_sweep_kernel_reference",
+]
 
 #: Work below this threshold counts as complete (same epsilon as the
 #: scalar oracle and the market engine).
 _EPS = 1e-12
+
+
+def _row_searchsorted_right(rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Batched ``np.searchsorted(rows[t], values[t], side='right')``.
+
+    ``rows`` is ``(n_rows, width)`` with every row sorted ascending;
+    ``values`` broadcasts to ``(n_rows, n_values)``.  Pure integer
+    binary search over comparisons — no float arithmetic, so the counts
+    are exact and identical to per-row ``np.searchsorted``.
+    """
+    n_rows, width = rows.shape
+    vals = np.broadcast_to(values, (n_rows, values.shape[-1]))
+    lo = np.zeros(vals.shape, dtype=np.int64)
+    hi = np.full(vals.shape, width, dtype=np.int64)
+    row_idx = np.arange(n_rows)[:, None]
+    while True:
+        open_cells = lo < hi
+        if not open_cells.any():
+            return lo
+        mid = (lo + hi) >> 1
+        # Closed cells may have mid == width; their comparison result is
+        # discarded by the masks below, so clip the gather index only.
+        take = rows[row_idx, np.minimum(mid, width - 1)] <= vals
+        lo = np.where(open_cells & take, mid + 1, lo)
+        hi = np.where(open_cells & ~take, mid, hi)
 
 
 def _prepare(
@@ -45,7 +88,13 @@ def _prepare(
 
     Returns ``(prices, bids2, n_valid, accepted_total)`` where ``bids2``
     has shape ``(1, B)`` or ``(T, B)`` and ``accepted_total[t, b]`` counts
-    the accepted slots of lane ``(t, b)`` over the valid trace.
+    the accepted slots of lane ``(t, b)`` over the valid trace.  The
+    returned price matrix has any slots at or beyond ``n_valid`` forced
+    to ``+inf`` so downstream acceptance tests cannot see stale padding.
+
+    The whole computation is vectorized: one ``np.sort`` over the padded
+    matrix plus a batched binary search, instead of a per-trace Python
+    loop.
     """
     prices = np.asarray(prices, dtype=float)
     if prices.ndim == 1:
@@ -80,17 +129,21 @@ def _prepare(
             raise MarketError(f"n_valid must have shape ({n_traces},)")
         if np.any(n_valid <= 0) or np.any(n_valid > n_slots):
             raise MarketError("n_valid entries must be in [1, n_slots]")
+        if np.any(n_valid < n_slots):
+            prices = np.where(
+                np.arange(n_slots)[None, :] < n_valid[:, None], prices, np.inf
+            )
 
-    # Total accepted slots per lane, from each trace's sorted valid prices.
-    accepted_total = np.empty((n_traces, bids2.shape[1]), dtype=np.int64)
-    for t in range(n_traces):
-        row = np.sort(prices[t, : n_valid[t]])
-        lane_bids = bids2[0] if bids2.shape[0] == 1 else bids2[t]
-        accepted_total[t] = np.searchsorted(row, lane_bids, side="right")
+    # Total accepted slots per lane: one sort of the padded matrix
+    # (+inf pads sink to the end) plus a batched searchsorted; finite
+    # bids never count the pads, so this equals the old per-trace
+    # sort-the-valid-prefix loop exactly.
+    sorted_rows = np.sort(prices, axis=1)
+    accepted_total = _row_searchsorted_right(sorted_rows, bids2)
     return prices, bids2, n_valid, accepted_total
 
 
-def persistent_sweep_kernel(
+def persistent_sweep_kernel_reference(
     prices: np.ndarray,
     bids: np.ndarray,
     *,
@@ -99,7 +152,8 @@ def persistent_sweep_kernel(
     slot_length: float,
     n_valid: Optional[np.ndarray] = None,
 ) -> Dict[str, np.ndarray]:
-    """Batched :func:`~repro.market.fastpath.fast_persistent_outcome`.
+    """Batched :func:`~repro.market.fastpath.fast_persistent_outcome`
+    (reference slot-loop implementation).
 
     Parameters mirror the scalar oracle; ``prices`` is ``(T, S)`` (ragged
     rows padded with ``+inf``), ``bids`` is ``(B,)`` for a full grid or
@@ -107,6 +161,10 @@ def persistent_sweep_kernel(
     ``completed, cost, completion_time, running_time, idle_time,
     recovery_time_used, interruptions`` plus the scalar
     ``slots_simulated`` loop count.
+
+    This is the oracle the event-driven
+    :func:`~repro.sweep.events.persistent_sweep_kernel` is held bitwise
+    equal to; prefer the event-driven kernel on hot paths.
     """
     if work <= 0 or recovery_time < 0 or slot_length <= 0:
         raise MarketError(
@@ -190,7 +248,7 @@ def persistent_sweep_kernel(
     }
 
 
-def onetime_sweep_kernel(
+def onetime_sweep_kernel_reference(
     prices: np.ndarray,
     bids: np.ndarray,
     *,
@@ -198,10 +256,12 @@ def onetime_sweep_kernel(
     slot_length: float,
     n_valid: Optional[np.ndarray] = None,
 ) -> Dict[str, np.ndarray]:
-    """Batched :func:`~repro.market.fastpath.fast_onetime_outcome`.
+    """Batched :func:`~repro.market.fastpath.fast_onetime_outcome`
+    (reference slot-loop implementation).
 
-    Same conventions as :func:`persistent_sweep_kernel`; one-time lanes
-    pend until first accepted, run until out-bid (terminal) or complete.
+    Same conventions as :func:`persistent_sweep_kernel_reference`;
+    one-time lanes pend until first accepted, run until out-bid
+    (terminal) or complete.
     """
     if work <= 0 or slot_length <= 0:
         raise MarketError(
@@ -264,3 +324,12 @@ def onetime_sweep_kernel(
         "interruptions": np.zeros(shape, dtype=np.int64),
         "slots_simulated": slots_simulated * n_traces,
     }
+
+
+# The fast event-driven kernels live in repro.sweep.events and are the
+# public default under the historical names.  Imported at the bottom so
+# events.py can import _prepare/_EPS from this module without a cycle.
+from .events import (  # noqa: E402  (deliberate bottom import)
+    onetime_sweep_kernel,
+    persistent_sweep_kernel,
+)

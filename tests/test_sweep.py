@@ -286,3 +286,32 @@ class TestDistributionCache:
         assert a is not b
         _, misses = distribution_cache_stats()
         assert misses == 2
+
+    def test_cache_size_env_var_bounds_entries(self, monkeypatch):
+        from repro.sweep import cache as cache_mod
+
+        clear_distribution_cache()
+        monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", "2")
+        first = cached_distribution(np.full(30, 0.01))
+        cached_distribution(np.full(30, 0.02))
+        cached_distribution(np.full(30, 0.03))  # evicts the first entry
+        assert len(cache_mod._cache) == 2
+        refetched = cached_distribution(np.full(30, 0.01))
+        assert refetched is not first  # rebuilt after eviction
+        clear_distribution_cache()
+
+    def test_cache_size_env_var_read_lazily(self, monkeypatch):
+        from repro.sweep.cache import _max_entries
+
+        monkeypatch.delenv("REPRO_DIST_CACHE_SIZE", raising=False)
+        assert _max_entries() == 64
+        monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", "7")
+        assert _max_entries() == 7
+
+    @pytest.mark.parametrize("bad", ["zero", "0", "-3", "1.5"])
+    def test_cache_size_env_var_validated(self, monkeypatch, bad):
+        from repro.sweep.cache import _max_entries
+
+        monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", bad)
+        with pytest.raises(ValueError, match="REPRO_DIST_CACHE_SIZE"):
+            _max_entries()

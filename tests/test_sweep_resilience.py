@@ -36,7 +36,7 @@ class TestPartialReport:
         original = engine._run_kernel_chunk
 
         def flaky(args):
-            prices = args[1]
+            prices = engine._resolve_payload(args[1])[0]
             for i in fail_for:
                 if np.array_equal(prices[0], traces[i]):
                     raise RuntimeError(f"injected worker fault on trace {i}")
@@ -107,7 +107,7 @@ class TestJournalResume:
         original = engine._run_kernel_chunk
 
         def flaky(args):
-            prices = args[1]
+            prices = engine._resolve_payload(args[1])[0]
             for i in fail_for:
                 if np.array_equal(prices[0], traces[i]):
                     raise RuntimeError("injected")

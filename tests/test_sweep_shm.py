@@ -1,0 +1,145 @@
+"""Shared-memory price stacks and the zero-copy process fan-out path."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import JobSpec
+from repro.sweep import run_sweep
+from repro.sweep.engine import _resolve_payload
+from repro.sweep.shm import (
+    SharedPriceStack,
+    StackDescriptor,
+    close_stacks,
+    open_stack,
+)
+
+
+@pytest.fixture(autouse=True)
+def _detach_segments():
+    yield
+    close_stacks()
+
+
+class TestSharedPriceStack:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.uniform(0.01, 1.0, size=(5, 40))
+        n_valid = rng.integers(1, 41, size=5).astype(np.int64)
+        with SharedPriceStack(matrix, n_valid) as stack:
+            prices, lengths = open_stack(stack.descriptor)
+            assert np.array_equal(prices, matrix)
+            assert np.array_equal(lengths, n_valid)
+
+    def test_views_are_read_only(self):
+        matrix = np.ones((2, 3))
+        with SharedPriceStack(matrix, np.array([3, 3])) as stack:
+            prices, lengths = open_stack(stack.descriptor)
+            with pytest.raises(ValueError):
+                prices[0, 0] = 9.0
+            with pytest.raises(ValueError):
+                lengths[0] = 1
+
+    def test_attachment_is_cached_per_name(self):
+        matrix = np.ones((2, 3))
+        with SharedPriceStack(matrix, np.array([3, 3])) as stack:
+            a, _ = open_stack(stack.descriptor)
+            b, _ = open_stack(stack.descriptor)
+            # Same underlying segment: the views share physical memory.
+            assert a.__array_interface__["data"][0] == (
+                b.__array_interface__["data"][0]
+            )
+
+    def test_descriptor_shape_validation(self):
+        with pytest.raises(ValueError):
+            SharedPriceStack(np.ones((2, 3)), np.array([3, 3, 3]))
+
+    def test_close_unlinks_segment(self):
+        matrix = np.ones((2, 3))
+        stack = SharedPriceStack(matrix, np.array([3, 3]))
+        name = stack.descriptor.name
+        stack.close()
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=name)
+
+    def test_nbytes_layout(self):
+        descriptor = StackDescriptor("x", 7, 11)
+        assert descriptor.nbytes == 7 * 11 * 8 + 7 * 8
+
+
+class TestPayloadResolution:
+    def test_inline_payload_passthrough(self):
+        prices = np.ones((2, 3))
+        n_valid = np.array([3, 3])
+        got_p, got_n = _resolve_payload(("inline", prices, n_valid))
+        assert got_p is prices
+        assert got_n is n_valid
+
+    def test_shm_payload_slices_rows(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.uniform(0.01, 1.0, size=(6, 10))
+        n_valid = np.full(6, 10, dtype=np.int64)
+        with SharedPriceStack(matrix, n_valid) as stack:
+            prices, lengths = _resolve_payload(
+                ("shm", stack.descriptor, 2, 5)
+            )
+            assert np.array_equal(prices, matrix[2:5])
+            assert lengths.shape == (3,)
+
+    def test_unknown_payload_kind_rejected(self):
+        from repro.errors import MarketError
+
+        with pytest.raises(MarketError):
+            _resolve_payload(("carrier-pigeon", None))
+
+
+class TestProcessSweepViaShm:
+    def test_process_sweep_bitwise_equals_serial(self):
+        rng = np.random.default_rng(3)
+        traces = [
+            rng.uniform(0.02, 0.1, size=int(rng.integers(50, 150)))
+            for _ in range(8)
+        ]
+        job = JobSpec(execution_time=1.5, recovery_time=0.1)
+        bids = [0.03, 0.05, 0.08]
+        serial = run_sweep(traces, bids, job)
+        parallel = run_sweep(
+            traces, bids, job, max_workers=2, executor="process"
+        )
+        assert np.array_equal(serial.cost, parallel.cost, equal_nan=True)
+        assert np.array_equal(serial.completed, parallel.completed)
+        assert np.array_equal(
+            serial.interruptions, parallel.interruptions
+        )
+
+    def test_resilient_process_sweep_with_journal(self, tmp_path):
+        rng = np.random.default_rng(4)
+        traces = [rng.uniform(0.02, 0.1, size=80) for _ in range(6)]
+        job = JobSpec(execution_time=1.0, recovery_time=0.1)
+        bids = [0.04, 0.07]
+        path = tmp_path / "sweep.journal"
+        serial = run_sweep(traces, bids, job)
+        first = run_sweep(
+            traces, bids, job, max_workers=2, executor="process",
+            journal=path, retries=1,
+        )
+        resumed = run_sweep(
+            traces, bids, job, max_workers=2, executor="process",
+            journal=path, retries=1,
+        )
+        assert first.failures == () and resumed.failures == ()
+        assert np.array_equal(serial.cost, resumed.cost, equal_nan=True)
+
+    def test_no_segment_leaked_after_sweep(self):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        rng = np.random.default_rng(5)
+        traces = [rng.uniform(0.02, 0.1, size=60) for _ in range(4)]
+        job = JobSpec(execution_time=1.0, recovery_time=0.1)
+        run_sweep(
+            traces, [0.05], job, max_workers=2, executor="process"
+        )
+        leaked = set(glob.glob("/dev/shm/psm_*")) - before
+        assert leaked == set()
