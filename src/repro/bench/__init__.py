@@ -8,13 +8,21 @@ snapshot.  :mod:`repro.bench.compare` gates changes: a run whose speedup
 falls more than the tolerance below the committed baseline fails.
 """
 
-from .cases import BenchCase, CASES, case_names, quick_case_names, select_cases
+from .cases import (
+    BenchCase,
+    CASES,
+    MapReduceBenchCase,
+    case_names,
+    quick_case_names,
+    select_cases,
+)
 from .compare import Regression, compare_reports
 from .runner import run_benchmarks
 
 __all__ = [
     "BenchCase",
     "CASES",
+    "MapReduceBenchCase",
     "Regression",
     "case_names",
     "compare_reports",

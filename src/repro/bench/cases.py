@@ -10,7 +10,8 @@ acceptance workload for the event-driven kernels' speedup target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -18,6 +19,7 @@ from ..core.types import Strategy
 
 __all__ = [
     "BenchCase",
+    "MapReduceBenchCase",
     "CASES",
     "case_names",
     "quick_case_names",
@@ -79,8 +81,123 @@ class BenchCase:
         _, _, n_valid = self.build()
         return int(n_valid.sum()) * self.n_bids
 
+    @property
+    def label(self) -> str:
+        return self.strategy.value
 
-CASES: List[BenchCase] = [
+
+@dataclass(frozen=True)
+class MapReduceBenchCase:
+    """One reproducible MapReduce plan-grid workload (§6.2 end-to-end).
+
+    The grid crosses ``n_master_bids × n_slave_bids`` plans with
+    ``n_pairs`` master/slave trace pairs, each evaluated from
+    ``n_starts`` start slots — the shape of the Figure 7 / Table 4
+    multi-start evaluation.  The reference timing is the scalar
+    dual-market runner; the contender is the event-driven grid kernel.
+    """
+
+    name: str
+    n_pairs: int
+    n_starts: int
+    n_slots: int
+    n_master_bids: int
+    n_slave_bids: int
+    num_slaves: int
+    #: Total cluster execution time t_s, hours.
+    work: float
+    recovery_time: float
+    slot_length: float
+    seed: int
+    quick: bool = False
+
+    @property
+    def n_plans(self) -> int:
+        return self.n_master_bids * self.n_slave_bids
+
+    @property
+    def n_runs(self) -> int:
+        return self.n_pairs * self.n_starts
+
+    # Aliases so MapReduce rows report through the same schema fields
+    # (traces × slots × bids) as the single-request sweep cases.
+    @property
+    def n_traces(self) -> int:
+        return self.n_runs
+
+    @property
+    def n_bids(self) -> int:
+        return self.n_plans
+
+    @property
+    def label(self) -> str:
+        return "mapreduce"
+
+    def build(self):
+        """Materialize ``(plans, master_traces, slave_traces, starts)``."""
+        from ..core.types import BidDecision, BidKind, MapReduceJobSpec, MapReducePlan
+
+        rng = np.random.default_rng(self.seed)
+        job = MapReduceJobSpec(
+            execution_time=self.work,
+            num_slaves=self.num_slaves,
+            recovery_time=self.recovery_time,
+            slot_length=self.slot_length,
+        )
+        # Bids span the floor-to-spike range so the grid mixes lanes
+        # that never launch, always run, and restart frequently.
+        plans = [
+            MapReducePlan(
+                job=job,
+                master_bid=BidDecision(
+                    price=float(mb), kind=BidKind.ONE_TIME, expected_cost=0.1
+                ),
+                slave_bid=BidDecision(
+                    price=float(sb), kind=BidKind.PERSISTENT, expected_cost=0.1
+                ),
+                required_master_time=1.0,
+                min_slaves=1,
+            )
+            for mb in np.linspace(0.04, 0.6, self.n_master_bids)
+            for sb in np.linspace(0.04, 0.6, self.n_slave_bids)
+        ]
+
+        def trace():
+            floor = rng.uniform(0.02, 0.05)
+            prices = floor + rng.exponential(0.01, size=self.n_slots)
+            spikes = rng.random(self.n_slots) < 0.08
+            prices = np.where(
+                spikes, prices + rng.uniform(0.2, 1.0, size=self.n_slots), prices
+            )
+            from ..traces.history import SpotPriceHistory
+
+            return SpotPriceHistory(
+                prices=np.ascontiguousarray(prices),
+                slot_length=self.slot_length,
+            )
+
+        pairs = [(trace(), trace()) for _ in range(self.n_pairs)]
+        span = self.n_slots // 2
+        start_grid = [(j * span) // self.n_starts for j in range(self.n_starts)]
+        master_traces = [m for m, _ in pairs for _ in start_grid]
+        slave_traces = [s for _, s in pairs for _ in start_grid]
+        starts = start_grid * self.n_pairs
+        return plans, master_traces, slave_traces, starts
+
+    @property
+    def lane_slots(self) -> int:
+        """Dense work volume: plans × per-run budgets."""
+        span = self.n_slots // 2
+        per_pair = sum(
+            self.n_slots - (j * span) // self.n_starts
+            for j in range(self.n_starts)
+        )
+        return self.n_plans * self.n_pairs * per_pair
+
+
+AnyBenchCase = Union[BenchCase, MapReduceBenchCase]
+
+CASES: List[AnyBenchCase] = [
     BenchCase(
         name="persistent_large",
         strategy=Strategy.PERSISTENT,
@@ -139,9 +256,38 @@ CASES: List[BenchCase] = [
         slot_length=1.0,
         seed=20150821,
     ),
+    # The Figure 7 acceptance workload for the batched MapReduce
+    # kernels: a 24-plan bid grid × 3 trace pairs × 2 starts.
+    MapReduceBenchCase(
+        name="mapreduce_fig7_grid",
+        n_pairs=3,
+        n_starts=2,
+        n_slots=600,
+        n_master_bids=6,
+        n_slave_bids=4,
+        num_slaves=4,
+        work=1.2,
+        recovery_time=0.05,
+        slot_length=1.0 / 12.0,
+        seed=20150822,
+    ),
+    MapReduceBenchCase(
+        name="mapreduce_multistart",
+        n_pairs=1,
+        n_starts=6,
+        n_slots=400,
+        n_master_bids=3,
+        n_slave_bids=2,
+        num_slaves=3,
+        work=0.8,
+        recovery_time=0.05,
+        slot_length=1.0 / 12.0,
+        seed=20150823,
+        quick=True,
+    ),
 ]
 
-_BY_NAME: Dict[str, BenchCase] = {case.name: case for case in CASES}
+_BY_NAME: Dict[str, AnyBenchCase] = {case.name: case for case in CASES}
 
 
 def case_names() -> List[str]:
@@ -153,9 +299,20 @@ def quick_case_names() -> List[str]:
 
 
 def select_cases(
-    names: Optional[Sequence[str]] = None, *, quick: bool = False
-) -> List[BenchCase]:
-    """Resolve a case selection: explicit names beat the quick flag."""
+    names: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+    pattern: Optional[str] = None,
+) -> List[AnyBenchCase]:
+    """Resolve a case selection.
+
+    Precedence: explicit ``names`` beat ``pattern`` (an ``fnmatch``
+    glob, e.g. ``"mapreduce_*"``), which beats the ``quick`` flag.
+    Unknown names and patterns matching nothing both raise
+    ``ValueError`` listing the available cases.
+    """
+    if names and pattern:
+        raise ValueError("pass explicit case names or a pattern, not both")
     if names:
         missing = [n for n in names if n not in _BY_NAME]
         if missing:
@@ -164,6 +321,14 @@ def select_cases(
                 f"available: {', '.join(case_names())}"
             )
         return [_BY_NAME[n] for n in names]
+    if pattern is not None:
+        matched = [case for case in CASES if fnmatch(case.name, pattern)]
+        if not matched:
+            raise ValueError(
+                f"pattern {pattern!r} matches no benchmark case; "
+                f"available: {', '.join(case_names())}"
+            )
+        return matched
     if quick:
         return [case for case in CASES if case.quick]
     return list(CASES)

@@ -27,7 +27,7 @@ from ..sweep.kernels import (
     persistent_sweep_kernel,
     persistent_sweep_kernel_reference,
 )
-from .cases import BenchCase, select_cases
+from .cases import BenchCase, MapReduceBenchCase, select_cases
 
 __all__ = ["SCHEMA", "run_benchmarks"]
 
@@ -105,6 +105,28 @@ def _bitwise_equal(a: dict, b: dict) -> bool:
     return all(np.array_equal(a[f], b[f], equal_nan=True) for f in _FIELDS)
 
 
+def _mapreduce_callable(case: MapReduceBenchCase, reference: bool):
+    from ..mapreduce.grid import run_plan_grid
+
+    kernel = "scalar" if reference else "event"
+
+    def run(plans, master_traces, slave_traces, starts):
+        return run_plan_grid(
+            plans,
+            master_traces,
+            slave_traces,
+            start_slots=starts,
+            kernel=kernel,
+        )
+
+    return run
+
+
+def _grids_bitwise_equal(a, b) -> bool:
+    ad, bd = a.to_dict(), b.to_dict()
+    return all(np.array_equal(ad[k], bd[k], equal_nan=True) for k in ad)
+
+
 def _throughput(case: BenchCase, lane_slots: int, wall: float) -> Dict[str, float]:
     return {
         "wall_seconds": wall,
@@ -119,16 +141,18 @@ def run_benchmarks(
     *,
     cases: Optional[Sequence[str]] = None,
     quick: bool = False,
+    pattern: Optional[str] = None,
     repeats: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the benchmark suite and return the ``repro.bench/1`` report.
 
     ``repeats`` defaults to 5 in quick mode (the cases are small and
-    min-of-many suppresses CI timer noise) and 3 otherwise.  ``progress``
-    (if given) receives one line per finished case.
+    min-of-many suppresses CI timer noise) and 3 otherwise.  ``pattern``
+    selects cases by glob (see :func:`~repro.bench.cases.select_cases`).
+    ``progress`` (if given) receives one line per finished case.
     """
-    selected = select_cases(cases, quick=quick)
+    selected = select_cases(cases, quick=quick, pattern=pattern)
     if repeats is None:
         repeats = 5 if quick else 3
     if repeats < 1:
@@ -138,16 +162,27 @@ def run_benchmarks(
     for case in selected:
         inputs = case.build()
         lane_slots = case.lane_slots
-        ref_wall, ref_result = _time_kernel(
-            _kernel_callable(case, reference=True), inputs, repeats
-        )
-        event_wall, event_result = _time_kernel(
-            _kernel_callable(case, reference=False), inputs, repeats
-        )
-        equal = _bitwise_equal(ref_result, event_result)
+        if isinstance(case, MapReduceBenchCase):
+            ref_wall, ref_result = _time_kernel(
+                _mapreduce_callable(case, reference=True), inputs, repeats
+            )
+            event_wall, event_result = _time_kernel(
+                _mapreduce_callable(case, reference=False), inputs, repeats
+            )
+            equal = _grids_bitwise_equal(ref_result, event_result)
+            events = event_result.slots_simulated
+        else:
+            ref_wall, ref_result = _time_kernel(
+                _kernel_callable(case, reference=True), inputs, repeats
+            )
+            event_wall, event_result = _time_kernel(
+                _kernel_callable(case, reference=False), inputs, repeats
+            )
+            equal = _bitwise_equal(ref_result, event_result)
+            events = int(event_result["slots_simulated"])
         row = {
             "name": case.name,
-            "strategy": case.strategy.value,
+            "strategy": case.label,
             "n_traces": case.n_traces,
             "n_slots": case.n_slots,
             "n_bids": case.n_bids,
@@ -156,7 +191,7 @@ def run_benchmarks(
             "reference": _throughput(case, lane_slots, ref_wall),
             "event": _throughput(case, lane_slots, event_wall),
             "speedup": ref_wall / event_wall if event_wall > 0 else float("inf"),
-            "events_processed": int(event_result["slots_simulated"]),
+            "events_processed": events,
             "bitwise_equal": bool(equal),
         }
         rows.append(row)

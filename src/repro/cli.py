@@ -249,6 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--starts", type=_positive_int, default=8,
         help="number of start slots sampled across the future",
     )
+    p_chaos.add_argument(
+        "--mapreduce", action="store_true",
+        help="stress a §6.2 master+slaves plan (eq. 20) instead of a "
+        "single-instance bid; --hours becomes the total cluster work",
+    )
+    p_chaos.add_argument(
+        "--slave-trace", default=None, metavar="PATH",
+        help="price-history CSV for the slave market (default: the "
+        "master's trace); only with --mapreduce",
+    )
+    p_chaos.add_argument(
+        "--slaves", type=_positive_int, default=6,
+        help="slave count M for --mapreduce (default 6)",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the sweep kernels and gate regressions"
@@ -260,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--cases", nargs="+", default=None, metavar="NAME",
         help="explicit benchmark case names (overrides --quick)",
+    )
+    p_bench.add_argument(
+        "--filter", default=None, metavar="GLOB", dest="filter_pattern",
+        help="select cases by glob, e.g. 'mapreduce_*' (overrides "
+        "--quick; mutually exclusive with --cases)",
     )
     p_bench.add_argument(
         "--repeats", type=_positive_int, default=None,
@@ -522,9 +541,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"--split must be below 1 to leave a future to stress, "
             f"got {args.split:g}"
         )
+    if args.slave_trace is not None and not args.mapreduce:
+        raise ReproError("--slave-trace requires --mapreduce")
     split_slot = max(1, min(trace.n_slots - 1, int(trace.n_slots * args.split)))
     history = trace.slice_slots(0, split_slot)
     future = trace.slice_slots(split_slot, trace.n_slots)
+    if args.mapreduce:
+        return _chaos_mapreduce(args, trace, history, future, ondemand)
     job = JobSpec(
         execution_time=args.hours,
         recovery_time=seconds(args.recovery_seconds),
@@ -544,6 +567,65 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         f"chaos: {len(report.results)} fault class(es) on "
         f"{future.n_slots} future slots (seed {args.seed}, "
+        f"intensity {args.intensity:g})"
+    )
+    print(report.table())
+    return 0
+
+
+def _chaos_mapreduce(args, master_trace, master_history, master_future, ondemand):
+    from .core.mapreduce import plan_master_slave
+    from .core.types import MapReduceJobSpec
+    from .resilience import run_mapreduce_chaos
+
+    if args.slave_trace is not None:
+        slave_trace = trace_io.read_csv(args.slave_trace)
+        if slave_trace.slot_length != master_trace.slot_length:
+            raise ReproError(
+                "--slave-trace must share the master trace's slot length"
+            )
+        slave_ondemand = _resolve_ondemand(
+            args.ondemand, slave_trace.instance_type
+        )
+        split = max(
+            1,
+            min(
+                slave_trace.n_slots - 1,
+                int(slave_trace.n_slots * args.split),
+            ),
+        )
+        slave_history = slave_trace.slice_slots(0, split)
+        slave_future = slave_trace.slice_slots(split, slave_trace.n_slots)
+    else:
+        slave_ondemand = ondemand
+        slave_history, slave_future = master_history, master_future
+
+    job = MapReduceJobSpec(
+        execution_time=args.hours,
+        num_slaves=args.slaves,
+        recovery_time=seconds(args.recovery_seconds),
+        slot_length=master_trace.slot_length,
+    )
+    plan = plan_master_slave(
+        master_history.to_distribution(),
+        slave_history.to_distribution(),
+        job,
+        master_ondemand=ondemand,
+        slave_ondemand=slave_ondemand,
+    )
+    report = run_mapreduce_chaos(
+        plan,
+        master_future,
+        slave_future,
+        reference_price=max(ondemand, slave_ondemand),
+        seed=args.seed,
+        intensity=args.intensity,
+        n_starts=args.starts,
+        classes=args.classes,
+    )
+    print(
+        f"mapreduce chaos: {len(report.results)} fault class(es) on "
+        f"{master_future.n_slots} future slots (seed {args.seed}, "
         f"intensity {args.intensity:g})"
     )
     print(report.table())
@@ -614,15 +696,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for case in CASES:
             tag = " (quick)" if case.name in quick else ""
             print(
-                f"{case.name:20s} {case.strategy.value:10s} "
+                f"{case.name:20s} {case.label:10s} "
                 f"{case.n_traces}x{case.n_slots}x{case.n_bids}{tag}"
             )
         return 0
+
+    if args.cases and args.filter_pattern:
+        raise ReproError("--cases and --filter are mutually exclusive")
 
     try:
         report = run_benchmarks(
             cases=args.cases,
             quick=args.quick,
+            pattern=args.filter_pattern,
             repeats=args.repeats,
             progress=print,
         )

@@ -16,8 +16,8 @@ from typing import List
 import numpy as np
 
 from ..analysis.stats import percent_difference, savings_fraction
-from ..mapreduce.runner import ondemand_baseline, run_plan_on_traces
-from ..sweep import map_traces
+from ..mapreduce.grid import run_plan_grid
+from ..mapreduce.runner import ondemand_baseline
 from ..traces.catalog import get_instance_type
 from .common import (
     ExperimentConfig,
@@ -108,21 +108,23 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig7Result:
             plan.job, master_t.on_demand_price, slave_t.on_demand_price
         )
         rng = config.rng(7, zlib.crc32(f"{master_name}/{slave_name}".encode()))
-        reps = []
+        master_futs, slave_futs, starts = [], [], []
         for rep in range(config.repetitions):
             _, master_fut = history_and_future(master_t, config, 71, rep)
             _, slave_fut = history_and_future(slave_t, config, 72, rep)
-            reps.append((master_fut, slave_fut, calm_start_slot(rng, slave_fut)))
-        # Cluster runs cannot be a single-request kernel (master and
-        # slaves interact), so the repetitions fan out through the
-        # sweep layer's trace mapper instead.
-        results = map_traces(
-            lambda item: run_plan_on_traces(
-                plan, item[0], item[1], start_slot=item[2]
-            ),
-            reps,
+            master_futs.append(master_fut)
+            slave_futs.append(slave_fut)
+            starts.append(calm_start_slot(rng, slave_fut))
+        # All repetitions go through the batched plan-grid kernel in one
+        # call; results are bitwise identical to the per-rep scalar runs.
+        grid = run_plan_grid(
+            plan,
+            master_futs,
+            slave_futs,
+            start_slots=starts,
             max_workers=config.max_workers,
         )
+        results = grid.results(0)
         times = [r.completion_time for r in results if r.completed]
         costs = [r.total_cost for r in results if r.completed]
         completed = sum(1 for r in results if r.completed)

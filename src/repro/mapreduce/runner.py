@@ -27,6 +27,7 @@ and cost follow directly from the workload.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -42,7 +43,33 @@ from ..market.simulator import SpotMarket
 from ..traces.history import SpotPriceHistory
 from .scheduler import MapReduceScheduler
 
-__all__ = ["MapReduceRunResult", "run_plan_on_traces", "ondemand_baseline"]
+__all__ = [
+    "MapReduceRunResult",
+    "TerminationReason",
+    "run_plan_on_traces",
+    "ondemand_baseline",
+]
+
+
+class TerminationReason(enum.Enum):
+    """Why a simulated MapReduce run ended.
+
+    ``completed=False`` collapses three very different endings — the
+    master burning through its restart budget, the trace running out
+    before the job finished, and a master bid so low the cluster never
+    even started — that matter for diagnosing a plan.
+    """
+
+    COMPLETED = "completed"
+    #: The master's (max_master_restarts+1)-th attempt was out-bid.
+    RESTARTS_EXHAUSTED = "restarts_exhausted"
+    #: The simulated slot budget ran out with slaves still working.
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    #: The master never reached RUNNING, so slaves were never submitted.
+    SLAVES_NEVER_SUBMITTED = "slaves_never_submitted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
 
 
 @dataclass(frozen=True)
@@ -56,6 +83,8 @@ class MapReduceRunResult:
     slave_cost: float
     slave_interruptions: int
     master_restarts: int
+    #: How the run ended (``None`` only for legacy constructions).
+    termination_reason: Optional[TerminationReason] = None
 
     @property
     def total_cost(self) -> float:
@@ -137,12 +166,14 @@ def run_plan_on_traces(
     slaves_submit_slot: Optional[int] = None
     completed = False
     completion_time = math.nan
+    reason = TerminationReason.BUDGET_EXHAUSTED
     for _step in range(budget):
         master_market.step()
         slave_market.step()
 
         if scheduler.master_failed(master_market):
             if scheduler.master_restarts >= max_master_restarts:
+                reason = TerminationReason.RESTARTS_EXHAUSTED
                 break
             submit_master()
             continue
@@ -161,6 +192,7 @@ def run_plan_on_traces(
 
         if scheduler.slaves_done(slave_market) and master_up:
             completed = True
+            reason = TerminationReason.COMPLETED
             finish_times = [
                 slave_market.outcome(sub.request_id).completion_time
                 for sub in scheduler.sub_jobs
@@ -173,15 +205,22 @@ def run_plan_on_traces(
             master_market.cancel(scheduler.master_request_id)
             break
 
+    if slaves_submit_slot is None and not completed:
+        reason = TerminationReason.SLAVES_NEVER_SUBMITTED
     master_cost = sum(
         master_market.outcome(rid).cost for rid in scheduler.master_attempts
     )
+    # Sub-jobs are only attached to requests once the master comes up; a
+    # master that never runs leaves them unsubmitted with zero cost.
     slave_cost = sum(
-        slave_market.outcome(sub.request_id).cost for sub in scheduler.sub_jobs
+        slave_market.outcome(sub.request_id).cost
+        for sub in scheduler.sub_jobs
+        if sub.submitted
     )
     interruptions = sum(
         slave_market.outcome(sub.request_id).interruptions
         for sub in scheduler.sub_jobs
+        if sub.submitted
     )
     return MapReduceRunResult(
         completed=completed,
@@ -190,6 +229,7 @@ def run_plan_on_traces(
         slave_cost=slave_cost,
         slave_interruptions=interruptions,
         master_restarts=scheduler.master_restarts,
+        termination_reason=reason,
     )
 
 
@@ -216,4 +256,5 @@ def ondemand_baseline(
         slave_cost=slave_cost,
         slave_interruptions=0,
         master_restarts=0,
+        termination_reason=TerminationReason.COMPLETED,
     )

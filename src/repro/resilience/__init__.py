@@ -19,7 +19,15 @@ uninterrupted backtest loop.  This package drops both assumptions:
   degradation relative to the clean run.
 """
 
-from .chaos import ChaosReport, FaultClassResult, default_fault_suite, run_chaos
+from .chaos import (
+    ChaosReport,
+    FaultClassResult,
+    MapReduceChaosReport,
+    MapReduceFaultClassResult,
+    default_fault_suite,
+    run_chaos,
+    run_mapreduce_chaos,
+)
 from .execution import (
     BackoffPolicy,
     ExecutionResult,
@@ -48,6 +56,8 @@ __all__ = [
     "FaultSpec",
     "FaultyPriceSource",
     "ItemFailure",
+    "MapReduceChaosReport",
+    "MapReduceFaultClassResult",
     "PricePlateau",
     "PriceSpike",
     "RevocationStorm",
@@ -58,4 +68,5 @@ __all__ = [
     "default_fault_suite",
     "run_chaos",
     "run_items",
+    "run_mapreduce_chaos",
 ]

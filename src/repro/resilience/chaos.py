@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..core.client import BiddingClient
-from ..core.types import JobSpec, Strategy, normalize_strategy
+from ..core.types import JobSpec, MapReducePlan, Strategy, normalize_strategy
 from ..errors import FaultError
 from ..sweep import run_sweep
 from ..traces.history import SpotPriceHistory
@@ -36,8 +36,11 @@ from .faults import (
 __all__ = [
     "FaultClassResult",
     "ChaosReport",
+    "MapReduceFaultClassResult",
+    "MapReduceChaosReport",
     "default_fault_suite",
     "run_chaos",
+    "run_mapreduce_chaos",
 ]
 
 #: Canonical fault-class order for suites and reports.
@@ -241,6 +244,181 @@ def run_chaos(
         baseline_completion_rate=baseline_rate,
         baseline_mean_cost=baseline_cost,
         baseline_mean_completion_time=baseline_time,
+        n_starts=n_starts,
+        seed=seed,
+        results=tuple(results),
+    )
+
+
+@dataclass(frozen=True)
+class MapReduceFaultClassResult:
+    """One fault class versus the clean MapReduce baseline.
+
+    Master and slave markets are degraded *independently* (each class
+    derives two injectors from the root seed), matching the dual-market
+    runner's fault hooks.
+    """
+
+    name: str
+    completion_rate: float
+    mean_cost: float
+    #: Mean completion time over *completed* runs, hours (NaN if none).
+    mean_completion_time: float
+    mean_interruptions: float
+    mean_master_restarts: float
+    #: Runs per termination reason, e.g. ``{"completed": 6, ...}``.
+    termination_counts: Dict[str, int]
+    cost_delta: float
+    completion_delta: float
+    time_delta: float
+
+
+@dataclass(frozen=True)
+class MapReduceChaosReport:
+    """Everything :func:`run_mapreduce_chaos` measured."""
+
+    master_bid: float
+    slave_bid: float
+    num_slaves: int
+    baseline_completion_rate: float
+    baseline_mean_cost: float
+    baseline_mean_completion_time: float
+    baseline_termination_counts: Dict[str, int]
+    n_starts: int
+    seed: int
+    results: Tuple[MapReduceFaultClassResult, ...]
+
+    def table(self) -> str:
+        lines = [
+            f"plan: master ${self.master_bid:.4f}/h, "
+            f"{self.num_slaves} slaves @ ${self.slave_bid:.4f}/h",
+            f"clean runs ({self.n_starts} starts): "
+            f"mean cost ${self.baseline_mean_cost:.4f}  "
+            f"mean time {self.baseline_mean_completion_time:.2f}h  "
+            f"completion {self.baseline_completion_rate:.0%}",
+            f"{'fault class':14s} {'done%':>6s} {'cost $':>9s} "
+            f"{'Δcost $':>9s} {'Δdone%':>7s} {'Δtime h':>8s} "
+            f"{'intr':>6s} {'restarts':>9s}  termination",
+        ]
+        for r in self.results:
+            failures = {
+                k: v
+                for k, v in r.termination_counts.items()
+                if k != "completed" and v
+            }
+            term = (
+                ", ".join(f"{k}:{v}" for k, v in sorted(failures.items()))
+                or "all completed"
+            )
+            lines.append(
+                f"{r.name:14s} {r.completion_rate:6.0%} "
+                f"{r.mean_cost:9.4f} {r.cost_delta:+9.4f} "
+                f"{r.completion_delta:+7.0%} {r.time_delta:+8.2f} "
+                f"{r.mean_interruptions:6.1f} {r.mean_master_restarts:9.1f}"
+                f"  {term}"
+            )
+        return "\n".join(lines)
+
+
+def run_mapreduce_chaos(
+    plan: MapReducePlan,
+    master_future: SpotPriceHistory,
+    slave_future: SpotPriceHistory,
+    *,
+    reference_price: float,
+    seed: int = 0,
+    intensity: float = 1.0,
+    n_starts: int = 8,
+    classes: Optional[Sequence[str]] = None,
+    suite: Optional[Dict[str, Tuple[FaultSpec, ...]]] = None,
+    max_master_restarts: int = 50,
+) -> MapReduceChaosReport:
+    """Per-fault-class degradation of one MapReduce bidding plan.
+
+    The §6.2 analogue of :func:`run_chaos`: ``plan`` is executed from
+    ``n_starts`` start slots on the clean master/slave futures, then per
+    fault class on copies where fault class ``k`` perturbs the master
+    trace with ``derive(2k)`` and the slave trace with ``derive(2k+1)``
+    — independent degradations of the two markets.  All the multi-start
+    evaluation goes through the batched plan-grid kernel, and the whole
+    report is a pure function of ``seed``.
+    """
+    from ..mapreduce.grid import run_plan_grid
+
+    if n_starts < 1:
+        raise FaultError(f"n_starts must be >= 1, got {n_starts!r}")
+    if suite is None:
+        suite = default_fault_suite(reference_price, intensity=intensity)
+    names = tuple(classes) if classes is not None else tuple(suite)
+    unknown = [n for n in names if n not in suite]
+    if unknown:
+        raise FaultError(
+            f"unknown fault class(es) {unknown!r}; choose from {sorted(suite)}"
+        )
+
+    span = max(1, min(master_future.n_slots, slave_future.n_slots) // 2)
+    starts = [(i * span) // n_starts for i in range(n_starts)]
+
+    def mean_outcome(master_trace, slave_trace):
+        limit = min(master_trace.n_slots, slave_trace.n_slots) - 1
+        offsets = [min(s, limit) for s in starts]
+        grid = run_plan_grid(
+            plan,
+            master_trace,
+            slave_trace,
+            start_slots=offsets,
+            max_master_restarts=max_master_restarts,
+        )
+        done = grid.completed[0]
+        times = grid.completion_time[0]
+        mean_time = float(times[done].mean()) if done.any() else float("nan")
+        return (
+            float(done.mean()),
+            float(grid.total_cost[0].mean()),
+            mean_time,
+            float(grid.slave_interruptions[0].mean()),
+            float(grid.master_restarts[0].mean()),
+            grid.termination_counts(0),
+        )
+
+    base_rate, base_cost, base_time, _, _, base_terms = mean_outcome(
+        master_future, slave_future
+    )
+
+    results = []
+    for index, name in enumerate(names):
+        injector = FaultInjector(suite[name], seed=seed)
+        degraded_master = injector.derive(2 * index).perturb_history(
+            master_future
+        )
+        degraded_slave = injector.derive(2 * index + 1).perturb_history(
+            slave_future
+        )
+        rate, cost, mean_time, interruptions, restarts, terms = mean_outcome(
+            degraded_master, degraded_slave
+        )
+        results.append(
+            MapReduceFaultClassResult(
+                name=name,
+                completion_rate=rate,
+                mean_cost=cost,
+                mean_completion_time=mean_time,
+                mean_interruptions=interruptions,
+                mean_master_restarts=restarts,
+                termination_counts=terms,
+                cost_delta=cost - base_cost,
+                completion_delta=rate - base_rate,
+                time_delta=mean_time - base_time,
+            )
+        )
+    return MapReduceChaosReport(
+        master_bid=plan.master_bid.price,
+        slave_bid=plan.slave_bid.price,
+        num_slaves=plan.job.num_slaves,
+        baseline_completion_rate=base_rate,
+        baseline_mean_cost=base_cost,
+        baseline_mean_completion_time=base_time,
+        baseline_termination_counts=base_terms,
         n_starts=n_starts,
         seed=seed,
         results=tuple(results),

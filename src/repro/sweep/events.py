@@ -86,7 +86,7 @@ def _dedup_lanes(accepted_total: np.ndarray, n_slots: int):
     return flat_alive, inverse, u_trace, u_cnt
 
 
-def _block_events(rank, trace, cnt, lo, hi):
+def _block_events(rank, trace, cnt, lo, hi, lane_lo=None, lane_hi=None):
     """Accepted slots of each live lane within slot block ``[lo, hi)``.
 
     Returns ``(slots, counts)``: ``slots[i, k]`` is lane ``i``'s k-th
@@ -95,9 +95,19 @@ def _block_events(rank, trace, cnt, lo, hi):
     Integer-only — the stable argsort of the negated acceptance mask
     moves accepted positions to the front without disturbing their
     temporal order, which is exactly the lane's event schedule.
+
+    ``lane_lo`` / ``lane_hi`` optionally restrict each lane to its own
+    slot window ``[lane_lo[i], lane_hi[i])`` — the MapReduce grid
+    kernels walk lanes whose simulation windows start at different
+    trace offsets (per-run start slots) and end at different horizons.
     """
-    block_rank = rank[trace[:, None], np.arange(lo, hi)[None, :]]
+    slots_ax = np.arange(lo, hi)
+    block_rank = rank[trace[:, None], slots_ax[None, :]]
     acc = block_rank < cnt[:, None]
+    if lane_lo is not None:
+        acc &= (slots_ax[None, :] >= lane_lo[:, None]) & (
+            slots_ax[None, :] < lane_hi[:, None]
+        )
     counts = acc.sum(axis=1)
     max_count = int(counts.max()) if counts.size else 0
     if max_count == 0:

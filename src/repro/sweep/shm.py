@@ -30,8 +30,10 @@ import numpy as np
 __all__ = ["SharedPriceStack", "StackDescriptor", "open_stack", "close_stacks"]
 
 #: Attached segments cached per worker process.  Bounded so a long-lived
-#: worker serving many sweeps does not accumulate stale mappings.
-_MAX_ATTACHED = 4
+#: worker serving many sweeps does not accumulate stale mappings.  Sized
+#: for several concurrent fan-outs of *paired* stacks — the MapReduce
+#: grid ships a master and a slave segment per sweep.
+_MAX_ATTACHED = 8
 
 _attached: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
 

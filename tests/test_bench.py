@@ -73,6 +73,47 @@ class TestRunner:
         with pytest.raises(ValueError):
             run_benchmarks(cases=["persistent_small"], repeats=0)
 
+    def test_mapreduce_case_runs_and_verifies(self):
+        report = run_benchmarks(cases=["mapreduce_multistart"], repeats=1)
+        (row,) = report["cases"]
+        assert row["strategy"] == "mapreduce"
+        assert row["bitwise_equal"] is True
+        assert row["speedup"] > 0
+        assert row["events_processed"] > 0
+        json.dumps(report)
+
+
+class TestCaseSelection:
+    def test_pattern_selects_by_glob(self):
+        names = [c.name for c in select_cases(pattern="mapreduce_*")]
+        assert names == ["mapreduce_fig7_grid", "mapreduce_multistart"]
+
+    def test_pattern_matching_nothing_rejected(self):
+        with pytest.raises(ValueError, match="matches no benchmark case"):
+            select_cases(pattern="warpdrive_*")
+
+    def test_pattern_and_names_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            select_cases(["persistent_small"], pattern="*")
+
+    def test_quick_includes_mapreduce_smoke(self):
+        assert "mapreduce_multistart" in quick_case_names()
+
+    def test_mapreduce_inputs_are_deterministic(self):
+        case = next(c for c in CASES if c.name == "mapreduce_multistart")
+        plans_a, m_a, s_a, starts_a = case.build()
+        plans_b, m_b, s_b, starts_b = case.build()
+        assert starts_a == starts_b
+        assert [p.master_bid.price for p in plans_a] == [
+            p.master_bid.price for p in plans_b
+        ]
+        assert all(
+            np.array_equal(x.prices, y.prices) for x, y in zip(m_a, m_b)
+        )
+        assert all(
+            np.array_equal(x.prices, y.prices) for x, y in zip(s_a, s_b)
+        )
+
 
 def _report(cases):
     return {"schema": "repro.bench/1", "cases": cases}
@@ -146,6 +187,32 @@ class TestBenchCli:
         )
         assert code == 0
         assert "no regressions" in capsys.readouterr().out
+
+    def test_filter_glob_selects_cases(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_mr.json"
+        code = main(
+            [
+                "bench", "--filter", "mapreduce_*", "--repeats", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        names = [row["name"] for row in report["cases"]]
+        assert names == ["mapreduce_fig7_grid", "mapreduce_multistart"]
+
+    def test_filter_matching_nothing_fails_cleanly(self, capsys):
+        assert main(["bench", "--filter", "warpdrive_*"]) == 1
+        err = capsys.readouterr().err
+        assert "matches no benchmark case" in err
+        assert "mapreduce_fig7_grid" in err
+
+    def test_filter_and_cases_mutually_exclusive(self, capsys):
+        code = main(
+            ["bench", "--cases", "persistent_small", "--filter", "*"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
 
     def test_impossible_baseline_fails(self, tmp_path, capsys):
         baseline = tmp_path / "impossible.json"

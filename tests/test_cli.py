@@ -204,3 +204,26 @@ class TestChaosCommand:
         with pytest.raises(SystemExit):
             main(["chaos", str(trace_file), "--classes", "gremlin"])
         assert "--classes" in capsys.readouterr().err
+
+    def test_mapreduce_mode_end_to_end(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file), "--mapreduce",
+                     "--hours", "2", "--slaves", "3", "--seed", "1",
+                     "--starts", "2", "--classes", "spike", "plateau"]) == 0
+        out = capsys.readouterr().out
+        assert "mapreduce chaos" in out
+        assert "3 slaves" in out
+        assert "spike" in out and "plateau" in out
+
+    def test_mapreduce_separate_slave_trace(self, trace_file, future_file,
+                                            capsys):
+        # future_file is a valid second market trace with the same slots.
+        assert main(["chaos", str(trace_file), "--mapreduce",
+                     "--slave-trace", str(future_file), "--hours", "2",
+                     "--slaves", "3", "--starts", "2",
+                     "--classes", "spike"]) == 0
+        assert "mapreduce chaos" in capsys.readouterr().out
+
+    def test_slave_trace_requires_mapreduce(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file),
+                     "--slave-trace", str(trace_file)]) == 1
+        assert "--mapreduce" in capsys.readouterr().err

@@ -8,7 +8,11 @@ import pytest
 from repro.constants import seconds
 from repro.core.types import BidDecision, BidKind, MapReduceJobSpec, MapReducePlan
 from repro.errors import PlanError
-from repro.mapreduce.runner import ondemand_baseline, run_plan_on_traces
+from repro.mapreduce.runner import (
+    TerminationReason,
+    ondemand_baseline,
+    run_plan_on_traces,
+)
 from repro.traces.history import SpotPriceHistory
 
 TK = 1.0 / 12.0
@@ -132,6 +136,57 @@ class TestOndemandBaseline:
         job = MapReduceJobSpec(execution_time=1.0, num_slaves=1)
         with pytest.raises(PlanError):
             ondemand_baseline(job, 0.0, 0.84)
+
+
+class TestTerminationReason:
+    def test_completed(self):
+        result = run_plan_on_traces(
+            make_plan(num_slaves=2, ts=1.0), flat_history(0.02), flat_history(0.03)
+        )
+        assert result.termination_reason is TerminationReason.COMPLETED
+        assert str(result.termination_reason) == "completed"
+
+    def test_budget_exhausted(self):
+        result = run_plan_on_traces(
+            make_plan(num_slaves=2, ts=1.0),
+            flat_history(0.02),
+            flat_history(0.03),
+            max_slots=2,
+        )
+        assert not result.completed
+        assert result.termination_reason is TerminationReason.BUDGET_EXHAUSTED
+
+    def test_restarts_exhausted(self):
+        # Master up for 2 slots, then priced out forever.
+        master = SpotPriceHistory(
+            prices=np.concatenate([np.full(2, 0.02), np.full(60, 1.0)])
+        )
+        result = run_plan_on_traces(
+            make_plan(num_slaves=2, ts=5.0),
+            master,
+            flat_history(0.03, slots=62),
+            max_master_restarts=0,
+        )
+        assert not result.completed
+        assert result.termination_reason is TerminationReason.RESTARTS_EXHAUSTED
+        assert result.master_restarts == 0
+
+    def test_slaves_never_submitted_does_not_crash(self):
+        # A master bid below every price used to crash the cost
+        # accounting with an unknown-request lookup; now it reports
+        # cleanly with zero cost.
+        result = run_plan_on_traces(
+            make_plan(master_bid=0.01, num_slaves=2, ts=1.0),
+            flat_history(0.5),
+            flat_history(0.03),
+        )
+        assert not result.completed
+        assert (
+            result.termination_reason is TerminationReason.SLAVES_NEVER_SUBMITTED
+        )
+        assert result.master_cost == 0.0
+        assert result.slave_cost == 0.0
+        assert result.slave_interruptions == 0
 
 
 class TestFaultInjection:

@@ -129,3 +129,87 @@ class TestRunChaos:
         for name in FAULT_CLASSES:
             assert name in table
         assert "Δcost" in table
+
+
+class TestRunMapReduceChaos:
+    @pytest.fixture(scope="class")
+    def plan_and_market(self):
+        from repro.core.mapreduce import plan_master_slave
+        from repro.core.types import MapReduceJobSpec
+
+        rng = np.random.default_rng(21)
+        m_hist = generate_equilibrium_history("m3.xlarge", days=14, rng=rng)
+        s_hist = generate_equilibrium_history("c3.4xlarge", days=14, rng=rng)
+        m_fut = generate_renewal_history("m3.xlarge", days=7, rng=rng)
+        s_fut = generate_renewal_history("c3.4xlarge", days=7, rng=rng)
+        job = MapReduceJobSpec(
+            execution_time=4.0, num_slaves=4, recovery_time=0.01
+        )
+        plan = plan_master_slave(
+            m_hist.to_distribution(), s_hist.to_distribution(), job,
+            master_ondemand=0.266, slave_ondemand=0.84,
+        )
+        return plan, m_fut, s_fut
+
+    def test_reproducible_per_seed(self, plan_and_market):
+        from repro.resilience.chaos import run_mapreduce_chaos
+
+        plan, m_fut, s_fut = plan_and_market
+        kwargs = dict(reference_price=0.84, seed=5, n_starts=3)
+        a = run_mapreduce_chaos(plan, m_fut, s_fut, **kwargs)
+        b = run_mapreduce_chaos(plan, m_fut, s_fut, **kwargs)
+        assert a == b
+        c = run_mapreduce_chaos(
+            plan, m_fut, s_fut, reference_price=0.84, seed=6, n_starts=3
+        )
+        assert c != a
+
+    def test_report_shape_and_termination_counts(self, plan_and_market):
+        from repro.resilience.chaos import run_mapreduce_chaos
+
+        plan, m_fut, s_fut = plan_and_market
+        report = run_mapreduce_chaos(
+            plan, m_fut, s_fut, reference_price=0.84, seed=0, n_starts=3
+        )
+        assert tuple(r.name for r in report.results) == FAULT_CLASSES
+        assert report.master_bid == plan.master_bid.price
+        assert report.num_slaves == plan.job.num_slaves
+        assert sum(report.baseline_termination_counts.values()) == 3
+        for r in report.results:
+            assert 0.0 <= r.completion_rate <= 1.0
+            assert sum(r.termination_counts.values()) == 3
+            assert r.cost_delta == pytest.approx(
+                r.mean_cost - report.baseline_mean_cost
+            )
+
+    def test_subset_and_validation(self, plan_and_market):
+        from repro.errors import FaultError
+        from repro.resilience.chaos import run_mapreduce_chaos
+
+        plan, m_fut, s_fut = plan_and_market
+        report = run_mapreduce_chaos(
+            plan, m_fut, s_fut, reference_price=0.84,
+            classes=["spike"], n_starts=2,
+        )
+        assert [r.name for r in report.results] == ["spike"]
+        with pytest.raises(FaultError, match="unknown fault class"):
+            run_mapreduce_chaos(
+                plan, m_fut, s_fut, reference_price=0.84,
+                classes=["gremlin"],
+            )
+        with pytest.raises(FaultError, match="n_starts"):
+            run_mapreduce_chaos(
+                plan, m_fut, s_fut, reference_price=0.84, n_starts=0
+            )
+
+    def test_table_renders(self, plan_and_market):
+        from repro.resilience.chaos import run_mapreduce_chaos
+
+        plan, m_fut, s_fut = plan_and_market
+        report = run_mapreduce_chaos(
+            plan, m_fut, s_fut, reference_price=0.84, n_starts=2
+        )
+        table = report.table()
+        assert "slaves" in table
+        for name in FAULT_CLASSES:
+            assert name in table
