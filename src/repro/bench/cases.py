@@ -11,11 +11,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatch
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..core.types import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..traces.history import SpotPriceHistory
 
 __all__ = [
     "BenchCase",
@@ -133,7 +144,7 @@ class MapReduceBenchCase:
     def label(self) -> str:
         return "mapreduce"
 
-    def build(self):
+    def build(self) -> Tuple[List, List, List, List[int]]:
         """Materialize ``(plans, master_traces, slave_traces, starts)``."""
         from ..core.types import BidDecision, BidKind, MapReduceJobSpec, MapReducePlan
 
@@ -162,7 +173,7 @@ class MapReduceBenchCase:
             for sb in np.linspace(0.04, 0.6, self.n_slave_bids)
         ]
 
-        def trace():
+        def trace() -> "SpotPriceHistory":
             floor = rng.uniform(0.02, 0.05)
             prices = floor + rng.exponential(0.01, size=self.n_slots)
             spikes = rng.random(self.n_slots) < 0.08

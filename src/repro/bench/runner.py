@@ -16,11 +16,23 @@ from __future__ import annotations
 import os
 import platform
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..core.types import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..mapreduce.grid import MapReduceGridResult
 from ..sweep.kernels import (
     onetime_sweep_kernel,
     onetime_sweep_kernel_reference,
@@ -61,7 +73,11 @@ def _kernel_callable(case: BenchCase, reference: bool) -> Callable[..., dict]:
             onetime_sweep_kernel_reference if reference else onetime_sweep_kernel
         )
 
-        def run(prices, bids, n_valid):
+        def run(
+            prices: np.ndarray,
+            bids: np.ndarray,
+            n_valid: Optional[np.ndarray],
+        ) -> dict:
             return kernel(
                 prices,
                 bids,
@@ -77,7 +93,11 @@ def _kernel_callable(case: BenchCase, reference: bool) -> Callable[..., dict]:
             else persistent_sweep_kernel
         )
 
-        def run(prices, bids, n_valid):
+        def run(
+            prices: np.ndarray,
+            bids: np.ndarray,
+            n_valid: Optional[np.ndarray],
+        ) -> dict:
             return kernel(
                 prices,
                 bids,
@@ -90,7 +110,9 @@ def _kernel_callable(case: BenchCase, reference: bool) -> Callable[..., dict]:
     return run
 
 
-def _time_kernel(run: Callable[..., dict], inputs, repeats: int):
+def _time_kernel(
+    run: Callable[..., dict], inputs: Sequence[object], repeats: int
+) -> Tuple[float, Optional[dict]]:
     """Best-of-``repeats`` wall time and the last result."""
     best = float("inf")
     result = None
@@ -105,12 +127,19 @@ def _bitwise_equal(a: dict, b: dict) -> bool:
     return all(np.array_equal(a[f], b[f], equal_nan=True) for f in _FIELDS)
 
 
-def _mapreduce_callable(case: MapReduceBenchCase, reference: bool):
+def _mapreduce_callable(
+    case: MapReduceBenchCase, reference: bool
+) -> "Callable[..., MapReduceGridResult]":
     from ..mapreduce.grid import run_plan_grid
 
     kernel = "scalar" if reference else "event"
 
-    def run(plans, master_traces, slave_traces, starts):
+    def run(
+        plans: Any,
+        master_traces: Any,
+        slave_traces: Any,
+        starts: Any,
+    ) -> "MapReduceGridResult":
         return run_plan_grid(
             plans,
             master_traces,
@@ -122,7 +151,9 @@ def _mapreduce_callable(case: MapReduceBenchCase, reference: bool):
     return run
 
 
-def _grids_bitwise_equal(a, b) -> bool:
+def _grids_bitwise_equal(
+    a: "MapReduceGridResult", b: "MapReduceGridResult"
+) -> bool:
     ad, bd = a.to_dict(), b.to_dict()
     return all(np.array_equal(ad[k], bd[k], equal_nan=True) for k in ad)
 
@@ -204,7 +235,9 @@ def run_benchmarks(
             )
     return {
         "schema": SCHEMA,
-        "created_unix": time.time(),
+        # Report metadata, not simulation state — results never depend
+        # on it, so the determinism rule does not apply here.
+        "created_unix": time.time(),  # repro: noqa(RB101)
         "machine": _machine_info(),
         "cases": rows,
     }

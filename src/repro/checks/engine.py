@@ -1,0 +1,425 @@
+"""The rule engine behind ``repro-bid check``.
+
+One :class:`CheckEngine` run parses every target file into an AST
+exactly once, walks each tree exactly once — dispatching nodes to the
+rules that registered interest in their types — and then gives
+cross-file ("project") rules a chance to reason over the whole corpus
+(plus any extra files they pull in lazily, e.g. ``tests/`` modules for
+the kernel-parity rule).
+
+Suppressions
+------------
+Findings are suppressed with structured comments:
+
+``# repro: noqa(RB101)``
+    on the offending line silences the listed rule(s) for that line;
+    ``# repro: noqa(RB101, RB401)`` lists several, bare
+    ``# repro: noqa`` silences every rule on the line.
+
+``# repro: noqa-file(RB101)``
+    anywhere in a file silences the listed rule(s) for the whole file
+    (ids are mandatory here — whole-file blanket suppression is not
+    offered on purpose).
+
+Output
+------
+Human output is one ``path:line:col: RBxxx message`` row per finding;
+``--format json`` emits the versioned :data:`SCHEMA` document consumed
+by CI tooling.  The process exit code is the number of findings capped
+at 1, so shells and CI read it as pass/fail.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "SCHEMA",
+    "PARSE_ERROR_ID",
+    "Finding",
+    "FileContext",
+    "Project",
+    "Reporter",
+    "Rule",
+    "CheckResult",
+    "run_checks",
+]
+
+#: JSON report schema identifier.
+SCHEMA = "repro.checks/1"
+
+#: Pseudo-rule id attached to files that fail to parse.
+PARSE_ERROR_ID = "RB000"
+
+_RULE_ID_RE = re.compile(r"^RB\d{3}$")
+_NOQA_LINE_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\(\s*(?P<ids>RB\d{3}(?:\s*,\s*RB\d{3})*)\s*\))?"
+)
+_NOQA_FILE_RE = re.compile(
+    r"#\s*repro:\s*noqa-file\(\s*(?P<ids>RB\d{3}(?:\s*,\s*RB\d{3})*)\s*\)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file position.
+
+    ``path`` is root-relative with POSIX separators so reports are
+    stable across machines; ordering is the natural report order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+def _split_ids(raw: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+class FileContext:
+    """One parsed target file: source, AST and suppression tables."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        #: line -> suppressed rule ids; ``None`` value means *all* rules.
+        self.line_suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+        self.file_suppressions: FrozenSet[str] = frozenset()
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        file_ids: Set[str] = set()
+        for lineno, text in enumerate(self.source.splitlines(), start=1):
+            if "repro:" not in text:
+                continue
+            file_match = _NOQA_FILE_RE.search(text)
+            if file_match:
+                file_ids.update(_split_ids(file_match.group("ids")))
+                continue
+            line_match = _NOQA_LINE_RE.search(text)
+            if line_match:
+                raw = line_match.group("ids")
+                self.line_suppressions[lineno] = (
+                    _split_ids(raw) if raw is not None else None
+                )
+        self.file_suppressions = frozenset(file_ids)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        if rule_id in self.file_suppressions:
+            return True
+        if line in self.line_suppressions:
+            ids = self.line_suppressions[line]
+            return ids is None or rule_id in ids
+        return False
+
+
+class Project:
+    """Repo-level context shared by all rules of one run.
+
+    ``root`` anchors the repo layout (the directory holding
+    ``pyproject.toml``); ``scanned`` maps root-relative paths to the
+    :class:`FileContext` of every file in the scan set.  Project rules
+    may pull additional files in lazily via :meth:`file` / :meth:`text`
+    / :meth:`glob` — those are parsed once and cached but are *not*
+    themselves scanned for per-file findings.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root.resolve()
+        self.scanned: Dict[str, FileContext] = {}
+        self._extra: Dict[str, Optional[FileContext]] = {}
+
+    def rel(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def file(self, rel: str) -> Optional[FileContext]:
+        """The (possibly lazily parsed) context for a root-relative
+        path, or ``None`` if the file is missing or unparseable."""
+        if rel in self.scanned:
+            return self.scanned[rel]
+        if rel not in self._extra:
+            path = self.root / rel
+            try:
+                source = path.read_text(encoding="utf-8")
+                self._extra[rel] = FileContext(path, rel, source)
+            except (OSError, SyntaxError, ValueError):
+                self._extra[rel] = None
+        return self._extra[rel]
+
+    def text(self, rel: str) -> Optional[str]:
+        """Raw text of a root-relative file (e.g. a markdown doc)."""
+        try:
+            return (self.root / rel).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def glob(self, pattern: str) -> List[str]:
+        """Root-relative paths matching a glob under the root."""
+        return sorted(
+            self.rel(path)
+            for path in self.root.glob(pattern)
+            if path.is_file()
+        )
+
+
+class Reporter:
+    """Per-rule reporting facade: applies suppressions, collects findings."""
+
+    def __init__(self, project: Project, rule_id: str, sink: List[Finding]) -> None:
+        self._project = project
+        self.rule_id = rule_id
+        self._sink = sink
+
+    def at_node(self, ctx: FileContext, node: ast.AST, message: str) -> None:
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        if not ctx.is_suppressed(line, self.rule_id):
+            self._sink.append(Finding(ctx.rel, line, col, self.rule_id, message))
+
+    def at(self, rel: str, line: int, message: str, col: int = 0) -> None:
+        ctx = self._project.file(rel)
+        if ctx is not None and ctx.is_suppressed(line, self.rule_id):
+            return
+        self._sink.append(Finding(rel, line, col, self.rule_id, message))
+
+
+class Rule:
+    """Base class for check rules.
+
+    Subclasses set the class attributes and override any of the hooks:
+
+    ``node_types``
+        AST node classes the rule wants :meth:`visit` callbacks for
+        during the engine's single walk of each file.
+    ``applies_to``
+        Per-file gate (path-scoped rules return ``False`` to skip).
+    ``finish_project``
+        Cross-file analysis, called once after every file was walked.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def start_file(self, ctx: FileContext) -> None:
+        """Reset any per-file state before a walk begins."""
+
+    def visit(
+        self,
+        node: ast.AST,
+        ancestors: Sequence[ast.AST],
+        ctx: FileContext,
+        report: Reporter,
+    ) -> None:
+        """Handle one node of a registered type (``ancestors`` is the
+        chain from the module node down to the node's parent)."""
+
+    def finish_file(self, ctx: FileContext, report: Reporter) -> None:
+        """Per-file wrap-up after the walk."""
+
+    def finish_project(self, project: Project, report: Reporter) -> None:
+        """Cross-file analysis over the whole scanned corpus."""
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one engine run."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    root: Path
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule_id] = out.get(finding.rule_id, 0) + 1
+        return out
+
+    def render_human(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} in {self.files_scanned} file(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        document = {
+            "schema": SCHEMA,
+            "files_scanned": self.files_scanned,
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+
+def find_root(start: Path) -> Path:
+    """The nearest ancestor of ``start`` holding ``pyproject.toml``
+    (falling back to ``start`` itself, or its directory for files)."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            if "__pycache__" in resolved.parts or resolved.suffix != ".py":
+                continue
+            if any(part.endswith(".egg-info") for part in resolved.parts):
+                continue
+            seen.add(resolved)
+            out.append(resolved)
+    return out
+
+
+class CheckEngine:
+    """Walk each file once, fanning nodes out to interested rules."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        ids = [rule.rule_id for rule in rules]
+        for rule_id in ids:
+            if not _RULE_ID_RE.match(rule_id):
+                raise ValueError(f"invalid rule id {rule_id!r}")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate rule ids in {ids}")
+        self.rules = list(rules)
+
+    def run(self, paths: Sequence[Path], root: Optional[Path] = None) -> CheckResult:
+        files = iter_python_files([Path(p) for p in paths])
+        if root is None:
+            anchor = files[0] if files else Path.cwd()
+            root = find_root(anchor)
+        project = Project(root)
+        findings: List[Finding] = []
+        reporters = {
+            rule.rule_id: Reporter(project, rule.rule_id, findings)
+            for rule in self.rules
+        }
+
+        for path in files:
+            rel = project.rel(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                ctx = FileContext(path, rel, source)
+            except (SyntaxError, ValueError, tokenize.TokenError) as exc:
+                lineno = int(getattr(exc, "lineno", 1) or 1)
+                findings.append(
+                    Finding(rel, lineno, 0, PARSE_ERROR_ID, f"file does not parse: {exc}")
+                )
+                continue
+            except OSError as exc:
+                findings.append(
+                    Finding(rel, 1, 0, PARSE_ERROR_ID, f"file not readable: {exc}")
+                )
+                continue
+            project.scanned[rel] = ctx
+            self._walk_file(ctx, reporters)
+
+        for rule in self.rules:
+            rule.finish_project(project, reporters[rule.rule_id])
+
+        findings.sort()
+        return CheckResult(
+            findings=tuple(findings),
+            files_scanned=len(project.scanned),
+            root=project.root,
+        )
+
+    def _walk_file(self, ctx: FileContext, reporters: Dict[str, Reporter]) -> None:
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        if not active:
+            return
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in active:
+            rule.start_file(ctx)
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        if dispatch:
+            ancestors: List[ast.AST] = []
+
+            def descend(node: ast.AST) -> None:
+                for rule in dispatch.get(type(node), ()):
+                    rule.visit(node, ancestors, ctx, reporters[rule.rule_id])
+                ancestors.append(node)
+                for child in ast.iter_child_nodes(node):
+                    descend(child)
+                ancestors.pop()
+
+            descend(ctx.tree)
+        for rule in active:
+            rule.finish_file(ctx, reporters[rule.rule_id])
+
+
+def run_checks(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> CheckResult:
+    """Run the (given or default) rule set over ``paths``."""
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    return CheckEngine(rules).run(paths, root=root)

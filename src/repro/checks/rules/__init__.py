@@ -1,0 +1,48 @@
+"""The shipped rule catalog.
+
+Rules are visitor plugins over the single AST walk done by
+:mod:`repro.checks.engine`; each has a stable ``RBxxx`` id (never
+reused, so suppression comments stay meaningful across versions):
+
+========  ====================  ==========================================
+id        name                  guards
+========  ====================  ==========================================
+RB101     determinism           no global RNG state / wall-clock reads
+RB201     kernel-parity         dispatch-table kernels keep oracle+test+bench
+RB301     env-var-registry      REPRO_* reads go through repro.constants
+RB401     float-equality        exact parity tests; no nonzero float ==
+RB501     shm-lifecycle         shared memory scoped by with / try-finally
+RB601     api-surface           __all__ is real; no strategy string shim
+========  ====================  ==========================================
+
+(``RB000`` is reserved for files that fail to parse.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..engine import Rule
+from .api_surface import ApiSurfaceRule
+from .determinism import DeterminismRule
+from .env_registry import EnvRegistryRule
+from .float_equality import FloatEqualityRule
+from .kernel_parity import KernelParityRule
+from .shm_lifecycle import ShmLifecycleRule
+
+__all__ = ["RULES", "default_rules"]
+
+#: Shipped rule classes, in id order.
+RULES: List[Type[Rule]] = [
+    DeterminismRule,
+    KernelParityRule,
+    EnvRegistryRule,
+    FloatEqualityRule,
+    ShmLifecycleRule,
+    ApiSurfaceRule,
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule_class() for rule_class in RULES]

@@ -1,0 +1,132 @@
+"""Small AST helpers shared by the check rules."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Optional, Sequence, Set
+
+__all__ = [
+    "dotted_name",
+    "is_test_path",
+    "referenced_names",
+    "module_functions",
+    "module_bindings",
+    "string_constants",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``.
+
+    Call expressions inside the chain (``a().b``) break resolution on
+    purpose — a rule matching ``np.random.uniform`` should not match
+    ``make_np().random.uniform``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_test_path(rel: str) -> bool:
+    """True for files under a ``tests`` directory or named ``test_*.py``
+    / ``conftest.py`` — rules scoped to library code skip these."""
+    path = PurePosixPath(rel)
+    if any(part == "tests" for part in path.parts):
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def referenced_names(tree: ast.AST) -> Set[str]:
+    """Every identifier a module mentions: bare names, attribute tails
+    and import targets.  Cheap containment oracle for cross-file rules
+    ("does any test file reference ``persistent_sweep_kernel``?")."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[-1])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+def module_functions(tree: ast.AST) -> Set[str]:
+    """Names of all function defs in a module (any nesting level)."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _add_targets(target: ast.AST, names: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _add_targets(element, names)
+    elif isinstance(target, ast.Starred):
+        _add_targets(target.value, names)
+
+
+def _scan_bindings(body: Sequence[ast.stmt], names: Set[str]) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                _add_targets(target, names)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            _add_targets(stmt.target, names)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.For, ast.While)):
+            _scan_bindings(stmt.body, names)
+            _scan_bindings(stmt.orelse, names)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            _scan_bindings(stmt.body, names)
+        elif isinstance(stmt, ast.Try):
+            _scan_bindings(stmt.body, names)
+            _scan_bindings(stmt.orelse, names)
+            for handler in stmt.handlers:
+                _scan_bindings(handler.body, names)
+            _scan_bindings(stmt.finalbody, names)
+
+
+def module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level: defs, classes, assignment targets
+    and imports, recursing into ``if``/``try``/``with``/loop bodies.
+    ``from x import *`` contributes the sentinel ``"*"`` (bindings are
+    then not statically knowable)."""
+    names: Set[str] = set()
+    _scan_bindings(tree.body, names)
+    return names
+
+
+def string_constants(tree: ast.AST) -> Set[str]:
+    """Every string literal in a subtree — used to match dispatch-table
+    *keys* (e.g. ``kernel="event"``) rather than function names."""
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def walk_contains(root: ast.AST, target: ast.AST) -> bool:
+    """Identity-based: is ``target`` within the subtree of ``root``?"""
+    return any(node is target for node in ast.walk(root))

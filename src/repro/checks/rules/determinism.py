@@ -1,0 +1,128 @@
+"""RB101 — seed-determinism: no ambient randomness or wall-clock reads.
+
+Every simulation in this repo must be reproducible from an explicit
+seed: the paper's distribution fits (and the kernel⇄oracle equivalence
+suites) are only meaningful when stochastic paths can be replayed
+exactly.  Library code therefore must not draw entropy from the legacy
+global NumPy RNG, the ``random`` module's module-level state, or the
+wall clock:
+
+* ``np.random.<fn>(...)`` is banned except constructing explicit
+  generators (``default_rng``/``Generator``/``SeedSequence``/bit
+  generators) — and ``default_rng()`` *without* a seed is banned too;
+* ``random.<fn>(...)`` module-level calls are banned
+  (``random.Random(seed)`` with an explicit seed is fine);
+* ``time.time``/``time.time_ns``, ``datetime.now``/``utcnow``/
+  ``today`` and ``date.today`` are banned (``time.perf_counter`` and
+  ``time.monotonic`` are fine: durations, not timestamps).
+
+The fix is to accept a seeded ``np.random.Generator`` (or a seed) as a
+parameter, as :mod:`repro.traces.generator` does.  Wall-clock stamps on
+*reports* (not simulations) may be suppressed with a justified
+``# repro: noqa(RB101)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from ..engine import FileContext, Reporter, Rule
+from ._common import dotted_name, is_test_path
+
+#: Explicit-generator constructors allowed under ``np.random``.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Wall-clock reads (matched on the trailing two name components).
+_CLOCK_TAILS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+
+class DeterminismRule(Rule):
+    rule_id = "RB101"
+    name = "determinism"
+    description = (
+        "Library code must not use the global NumPy/stdlib RNG state, "
+        "unseeded default_rng(), or wall-clock reads; randomness comes "
+        "from passed-in seeded Generators."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not is_test_path(ctx.rel)
+
+    def visit(
+        self,
+        node: ast.AST,
+        ancestors: Sequence[ast.AST],
+        ctx: FileContext,
+        report: Reporter,
+    ) -> None:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        tail = ".".join(parts[-2:])
+
+        if len(parts) >= 2 and parts[-2] == "random" and parts[0] in ("np", "numpy"):
+            fn = parts[-1]
+            if fn not in _ALLOWED_NP_RANDOM:
+                report.at_node(
+                    ctx,
+                    node,
+                    f"legacy global NumPy RNG call {name}(); draw from a "
+                    f"seeded, passed-in np.random.Generator instead",
+                )
+                return
+            if fn == "default_rng" and not node.args and not node.keywords:
+                report.at_node(
+                    ctx,
+                    node,
+                    "unseeded np.random.default_rng(); pass an explicit "
+                    "seed so runs are reproducible",
+                )
+            return
+
+        if parts[0] == "random" and len(parts) == 2:
+            fn = parts[1]
+            if fn == "Random":
+                if not node.args and not node.keywords:
+                    report.at_node(
+                        ctx,
+                        node,
+                        "unseeded random.Random(); pass an explicit seed",
+                    )
+                return
+            report.at_node(
+                ctx,
+                node,
+                f"stdlib module-level RNG call {name}(); use a seeded "
+                f"np.random.Generator (or random.Random(seed)) instead",
+            )
+            return
+
+        if tail in _CLOCK_TAILS or name in _CLOCK_TAILS:
+            report.at_node(
+                ctx,
+                node,
+                f"wall-clock read {name}(); simulations must be "
+                f"reproducible — pass timestamps in, or use "
+                f"time.perf_counter() for durations",
+            )

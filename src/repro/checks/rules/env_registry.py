@@ -1,0 +1,125 @@
+"""RB301 — every ``REPRO_*`` switch goes through the central registry.
+
+Behavior toggles used to be parsed ad hoc wherever they were read; the
+same variable then grew different defaults, validation and error
+messages in different modules.  :mod:`repro.constants` now declares
+each variable once as an :class:`~repro.constants.EnvVar` in
+``ENV_VARS`` (single parse, single validation, canonical error), and
+everything else calls ``<VAR>.get()``.
+
+This rule flags any direct ``os.environ[...]`` / ``os.environ.get`` /
+``os.getenv`` access to a ``REPRO_*`` name outside ``repro/constants.py``
+— and, project-wide, checks that every registered variable is documented
+in the table in ``docs/development.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence
+
+from ..engine import FileContext, Project, Reporter, Rule
+from ._common import dotted_name
+
+REGISTRY = "src/repro/constants.py"
+DOCS = "docs/development.md"
+
+#: Dotted call targets that read the environment.
+_ENV_CALLS = {
+    "os.environ.get",
+    "os.environ.pop",
+    "os.environ.setdefault",
+    "environ.get",
+    "os.getenv",
+    "getenv",
+}
+
+_ENV_SUBSCRIPTS = {"os.environ", "environ"}
+
+
+def _repro_key(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.startswith("REPRO_"):
+            return node.value
+    return None
+
+
+class EnvRegistryRule(Rule):
+    rule_id = "RB301"
+    name = "env-var-registry"
+    description = (
+        "REPRO_* environment variables are read only through the "
+        "repro.constants ENV_VARS registry, and every registered "
+        "variable is documented in docs/development.md."
+    )
+    node_types = (ast.Call, ast.Subscript)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.rel.endswith("repro/constants.py")
+
+    def visit(
+        self,
+        node: ast.AST,
+        ancestors: Sequence[ast.AST],
+        ctx: FileContext,
+        report: Reporter,
+    ) -> None:
+        key: Optional[str] = None
+        if isinstance(node, ast.Subscript):
+            if dotted_name(node.value) in _ENV_SUBSCRIPTS:
+                key = _repro_key(node.slice)
+        elif isinstance(node, ast.Call):
+            if dotted_name(node.func) in _ENV_CALLS and node.args:
+                key = _repro_key(node.args[0])
+        if key is not None:
+            report.at_node(
+                ctx,
+                node,
+                f"direct environment read of {key}; go through the "
+                f"repro.constants registry (e.g. "
+                f"constants.ENV_VARS[{key!r}].get())",
+            )
+
+    def finish_project(self, project: Project, report: Reporter) -> None:
+        ctx = project.scanned.get(REGISTRY)
+        if ctx is None:
+            return
+        registered = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "EnvVar"
+            ):
+                continue
+            name: Optional[str] = None
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name = _repro_key(kw.value)
+            if name is None and node.args:
+                name = _repro_key(node.args[0])
+            if name is not None:
+                registered.append((name, node.lineno))
+        if not registered:
+            report.at(
+                REGISTRY,
+                1,
+                "no EnvVar registrations found in the constants registry",
+            )
+            return
+        docs = project.text(DOCS)
+        for name, lineno in registered:
+            if docs is None:
+                report.at(
+                    REGISTRY,
+                    lineno,
+                    f"{name} is registered but {DOCS} (the documented "
+                    f"REPRO_* table) does not exist",
+                )
+            elif name not in docs:
+                report.at(
+                    REGISTRY,
+                    lineno,
+                    f"{name} is registered but missing from the "
+                    f"environment-variable table in {DOCS}",
+                )

@@ -19,6 +19,8 @@ Subcommands
 ``bench``      Benchmark the sweep kernels (event vs reference), emit a
                ``BENCH_*.json`` trajectory point, and gate regressions
                against a committed baseline.
+``check``      Run the repo-aware static-analysis suite (``repro.checks``:
+               determinism, kernel-oracle parity, numeric hygiene).
 ``catalog``    List the built-in instance types.
 
 Examples
@@ -300,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_cases",
         help="list available cases and exit",
     )
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the repo-aware static-analysis suite (repro.checks)",
+    )
+    from .checks.cli import add_arguments as _add_check_arguments
+
+    _add_check_arguments(p_check)
 
     sub.add_parser("catalog", help="list built-in instance types")
     return parser
@@ -753,6 +763,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks.cli import run_check
+
+    return run_check(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -769,6 +785,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mapreduce": _cmd_mapreduce,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "check": _cmd_check,
         "catalog": _cmd_catalog,
     }
     try:

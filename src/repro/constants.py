@@ -1,9 +1,24 @@
-"""Shared numeric constants for the spot-bidding reproduction.
+"""Shared numeric constants and the ``REPRO_*`` environment registry.
 
 All prices in this library are expressed in dollars per instance-hour and
 all durations in hours, matching the units used throughout the paper
 (Section 5, Table 1).
+
+Behaviour switches read from the process environment are declared here,
+once, as :class:`EnvVar` entries in :data:`ENV_VARS`.  Everything else in
+the package goes through these entries (``SWEEP_KERNEL.get()``) instead
+of touching ``os.environ`` directly — the ``repro.checks`` rule ``RB301``
+enforces this, and the registry is the source of truth for the variable
+table in ``docs/development.md``.
 """
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Generic, Mapping, Tuple, TypeVar
+
+from .errors import ReproError
 
 #: Length of one spot-market time slot in hours.  Amazon updates the spot
 #: price roughly every five minutes (Section 3.2).
@@ -46,3 +61,113 @@ def minutes(value: float) -> float:
     if value < 0:
         raise ValueError(f"duration must be non-negative, got {value!r}")
     return value / 60.0
+
+
+class EnvVarError(ReproError, ValueError):
+    """A ``REPRO_*`` environment variable holds an invalid value.
+
+    Subclasses :class:`ValueError` so legacy callers that validated the
+    raw strings themselves keep their exception contracts.
+    """
+
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class EnvVar(Generic[_T]):
+    """One registered ``REPRO_*`` environment variable.
+
+    ``parse`` receives the stripped raw string (never empty — an unset
+    or blank variable yields ``default``) and either returns the parsed
+    value or raises :class:`EnvVarError` with a message naming the
+    variable.  ``get`` re-reads the environment on every call so the
+    switches also work when set after import (e.g. in spawned pool
+    workers inheriting the parent's environment).
+    """
+
+    name: str
+    default: _T
+    parse: Callable[[str], _T]
+    description: str
+    #: Human-readable value domain, shown in docs and error messages.
+    values: str = ""
+
+    def get(self) -> _T:
+        raw = os.environ.get(self.name, "").strip()
+        if not raw:
+            return self.default
+        return self.parse(raw)
+
+
+#: Kernel families accepted by :data:`SWEEP_KERNEL`.
+SWEEP_KERNEL_MODES: Tuple[str, ...] = ("event", "reference")
+
+
+def _parse_sweep_kernel(raw: str) -> str:
+    mode = raw.lower()
+    if mode in SWEEP_KERNEL_MODES:
+        return mode
+    raise EnvVarError(
+        f"REPRO_SWEEP_KERNEL must be 'event' or 'reference', got {raw!r}"
+    )
+
+
+def _parse_dist_cache_size(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvVarError(
+            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise EnvVarError(
+            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+#: Kernel-family switch shared by the sweep engine and the MapReduce
+#: plan grid: ``event`` (default) runs the event-driven kernels,
+#: ``reference`` the dense/scalar oracle paths.
+SWEEP_KERNEL: "EnvVar[str]" = EnvVar(
+    name="REPRO_SWEEP_KERNEL",
+    default="event",
+    parse=_parse_sweep_kernel,
+    description="Kernel family used by repro.sweep and repro.mapreduce "
+    "grids: the event-driven kernels or the dense/scalar oracle path.",
+    values="event (default) | reference",
+)
+
+#: Bound on the process-local memoized-distribution cache
+#: (:mod:`repro.sweep.cache`).
+DIST_CACHE_SIZE: "EnvVar[int]" = EnvVar(
+    name="REPRO_DIST_CACHE_SIZE",
+    default=64,
+    parse=_parse_dist_cache_size,
+    description="Maximum number of distinct price histories kept alive "
+    "by the distribution cache in repro.sweep.cache.",
+    values="positive integer (default 64)",
+)
+
+#: Every environment variable the package reads, keyed by name.  New
+#: ``REPRO_*`` switches must be added here (rule ``RB301``) and to the
+#: table in ``docs/development.md``.
+ENV_VARS: Mapping[str, "EnvVar[object]"] = {
+    var.name: var for var in (SWEEP_KERNEL, DIST_CACHE_SIZE)
+}
+
+
+def env_var(name: str) -> "EnvVar[object]":
+    """Look up a registered variable by name.
+
+    Raises :class:`EnvVarError` for unregistered names so typos fail
+    loudly rather than silently reading an empty environment slot.
+    """
+    try:
+        return ENV_VARS[name]
+    except KeyError:
+        raise EnvVarError(
+            f"{name!r} is not a registered REPRO_* environment variable; "
+            f"known: {', '.join(sorted(ENV_VARS))}"
+        ) from None

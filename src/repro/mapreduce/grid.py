@@ -22,12 +22,12 @@ lane arrays.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..constants import SWEEP_KERNEL, EnvVarError
 from ..core.types import MapReducePlan
 from ..errors import MarketError, PlanError
 from ..traces.history import SpotPriceHistory
@@ -130,18 +130,14 @@ def _resolve_kernel(kernel: Optional[str]) -> str:
                 "choose 'scalar', 'dense' or 'event'"
             )
         return kernel
-    mode = os.environ.get("REPRO_SWEEP_KERNEL", "event").strip().lower()
-    if mode in ("", "event"):
-        return "event"
-    if mode == "reference":
-        return "scalar"
-    raise MarketError(
-        f"unknown REPRO_SWEEP_KERNEL value {mode!r}; "
-        "expected 'event' or 'reference'"
-    )
+    try:
+        mode = SWEEP_KERNEL.get()
+    except EnvVarError as exc:
+        raise MarketError(str(exc)) from None
+    return "event" if mode == "event" else "scalar"
 
 
-def _as_sequence(value, n_runs: int, what: str) -> List:
+def _as_sequence(value: Any, n_runs: int, what: str) -> List:
     if isinstance(value, (SpotPriceHistory, int, np.integer)):
         return [value] * n_runs
     seq = list(value)
@@ -154,7 +150,9 @@ def _as_sequence(value, n_runs: int, what: str) -> List:
     return seq
 
 
-def _stack_traces(traces: Sequence[SpotPriceHistory]):
+def _stack_traces(
+    traces: Sequence[SpotPriceHistory],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Stack unique trace objects into a +inf-padded matrix.
 
     Runs frequently share trace objects (multi-start evaluation reuses
@@ -178,7 +176,7 @@ def _stack_traces(traces: Sequence[SpotPriceHistory]):
     return matrix, n_valid, index
 
 
-def _grid_worker(payload):
+def _grid_worker(payload: Tuple[Any, ...]) -> Dict[str, Any]:
     """Process-pool entry: attach the shared stacks, run one lane chunk."""
     from ..sweep.shm import open_stack
 
@@ -194,7 +192,7 @@ def _grid_worker(payload):
     )
 
 
-def _merge_chunks(chunks: Sequence[Dict[str, np.ndarray]]):
+def _merge_chunks(chunks: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     merged = {
         key: np.concatenate([c[key] for c in chunks])
         for key in chunks[0]
@@ -322,7 +320,7 @@ def run_plan_grid(
             **lanes,
         )
 
-    def grid(key):
+    def grid(key: str) -> np.ndarray:
         return raw[key].reshape(n_plans, n_runs)
 
     return MapReduceGridResult(
@@ -340,7 +338,12 @@ def run_plan_grid(
 
 
 def _run_scalar(
-    plan_list, m_list, s_list, starts, max_slots, max_master_restarts
+    plan_list: Sequence[MapReducePlan],
+    m_list: Sequence[SpotPriceHistory],
+    s_list: Sequence[SpotPriceHistory],
+    starts: Sequence[int],
+    max_slots: Optional[int],
+    max_master_restarts: int,
 ) -> MapReduceGridResult:
     """The oracle path: the scalar runner, lane by lane."""
     n_plans, n_runs = len(plan_list), len(m_list)
@@ -389,9 +392,16 @@ def _run_scalar(
 
 
 def _run_fanout(
-    m_matrix, m_valid, s_matrix, s_valid, lanes,
-    slot_length, max_master_restarts, kernel, max_workers,
-):
+    m_matrix: np.ndarray,
+    m_valid: np.ndarray,
+    s_matrix: np.ndarray,
+    s_valid: np.ndarray,
+    lanes: Dict[str, np.ndarray],
+    slot_length: float,
+    max_master_restarts: int,
+    kernel: str,
+    max_workers: int,
+) -> Dict[str, Any]:
     """Chunk lanes over a process pool; stacks travel via shared memory."""
     from ..sweep import map_traces
     from ..sweep.shm import SharedPriceStack

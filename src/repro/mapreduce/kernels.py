@@ -47,7 +47,7 @@ Grid-level orchestration (plan/trace normalization, the
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,8 +73,12 @@ _NO_SLOT = np.iinfo(np.int64).max
 
 
 def _check_lanes(
-    master_prices, slave_prices, lanes, slot_length, max_master_restarts
-):
+    master_prices: np.ndarray,
+    slave_prices: np.ndarray,
+    lanes: Sequence[np.ndarray],
+    slot_length: float,
+    max_master_restarts: int,
+) -> int:
     if master_prices.ndim != 2 or slave_prices.ndim != 2:
         raise MarketError("price stacks must be 2-D (rows, slots)")
     if slot_length <= 0:
@@ -103,7 +107,9 @@ def _result(n_lanes: int) -> Dict[str, np.ndarray]:
     }
 
 
-def _fold_slaves(single_cost, single_intr, n_slaves):
+def _fold_slaves(
+    single_cost: np.ndarray, single_intr: np.ndarray, n_slaves: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     """Total slave cost/interruptions over ``M`` identical slaves.
 
     The cost replays the scalar ``sum()``'s left fold — M sequential
@@ -269,7 +275,9 @@ def mapreduce_grid_kernel(
     return out
 
 
-def _lane_accept_counts(sorted_prices, lane_row, lane_bid):
+def _lane_accept_counts(
+    sorted_prices: np.ndarray, lane_row: np.ndarray, lane_bid: np.ndarray
+) -> np.ndarray:
     """Accepted-slot count per lane over its full (padded) trace row.
 
     ``rank[row, s] < count`` is then an O(1) membership test for slot
@@ -286,7 +294,14 @@ def _lane_accept_counts(sorted_prices, lane_row, lane_bid):
     return cnt
 
 
-def _first_events(rank, row, cnt, lo_arr, hi_arr, block):
+def _first_events(
+    rank: np.ndarray,
+    row: np.ndarray,
+    cnt: np.ndarray,
+    lo_arr: np.ndarray,
+    hi_arr: np.ndarray,
+    block: int,
+) -> Tuple[np.ndarray, int]:
     """First accepted slot per lane within its window (-1 when none)."""
     from ..sweep.events import _block_events
 
@@ -314,9 +329,18 @@ def _first_events(rank, row, cnt, lo_arr, hi_arr, block):
 
 
 def _slave_walk(
-    slave_prices, rank, row, cnt, lo_arr, hi_arr, work, recovery,
-    slot_len, rel_base, block,
-):
+    slave_prices: np.ndarray,
+    rank: np.ndarray,
+    row: np.ndarray,
+    cnt: np.ndarray,
+    lo_arr: np.ndarray,
+    hi_arr: np.ndarray,
+    work: np.ndarray,
+    recovery: np.ndarray,
+    slot_len: float,
+    rel_base: np.ndarray,
+    block: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
     """Event-driven persistent-slave simulation over per-lane windows.
 
     Returns ``(cost, interruptions, done, completed_at_rel, t_c_abs,

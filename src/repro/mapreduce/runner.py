@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.faults import FaultInjector
 
-from ..core.types import BidKind, MapReducePlan
+from ..core.types import BidKind, MapReduceJobSpec, MapReducePlan
 from ..errors import PlanError
 from ..market.price_sources import TracePriceSource
 from ..market.requests import RequestState
@@ -234,7 +234,7 @@ def run_plan_on_traces(
 
 
 def ondemand_baseline(
-    plan_job,
+    plan_job: MapReduceJobSpec,
     master_ondemand: float,
     slave_ondemand: float,
 ) -> MapReduceRunResult:

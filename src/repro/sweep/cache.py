@@ -14,13 +14,13 @@ feed the :class:`~repro.sweep.report.SweepCounters` diagnostics.
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
 from collections import OrderedDict
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..constants import DIST_CACHE_SIZE
 from ..core.distributions import EmpiricalPriceDistribution
 
 __all__ = [
@@ -29,28 +29,12 @@ __all__ = [
     "clear_distribution_cache",
 ]
 
-#: Default maximum number of distinct histories kept alive by the cache;
-#: override per process with the ``REPRO_DIST_CACHE_SIZE`` env var.
-_MAX_ENTRIES = 64
-
 
 def _max_entries() -> int:
-    """Effective cache bound — re-read per call so the env var also
-    works when set after import (e.g. in spawned pool workers)."""
-    raw = os.environ.get("REPRO_DIST_CACHE_SIZE", "").strip()
-    if not raw:
-        return _MAX_ENTRIES
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValueError(
-            f"REPRO_DIST_CACHE_SIZE must be a positive integer, got {raw!r}"
-        )
-    return value
+    """Effective cache bound: the ``REPRO_DIST_CACHE_SIZE`` registry
+    entry, re-read per call so the env var also works when set after
+    import (e.g. in spawned pool workers)."""
+    return DIST_CACHE_SIZE.get()
 
 _lock = threading.Lock()
 _cache: "OrderedDict[Tuple[str, Optional[float]], EmpiricalPriceDistribution]" = (

@@ -16,17 +16,20 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Iterable,
     List,
     Optional,
     Sequence,
+    Tuple,
     TypeVar,
     Union,
 )
 
 import numpy as np
 
+from ..constants import SWEEP_KERNEL, EnvVarError
 from ..core.types import JobSpec, Strategy, normalize_strategy
 from ..errors import MarketError
 from . import cache as _cache
@@ -40,7 +43,11 @@ from .report import SweepCounters, SweepReport
 from .shm import SharedPriceStack, open_stack
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..resilience.execution import BackoffPolicy, SweepJournal
+    from ..resilience.execution import (
+        BackoffPolicy,
+        ExecutionResult,
+        SweepJournal,
+    )
     from ..resilience.faults import FaultInjector
 
 __all__ = ["map_traces", "run_sweep"]
@@ -83,7 +90,7 @@ def _as_trace_list(traces: Union[object, Sequence[object]]) -> List[object]:
 def _stack_traces(
     traces: Sequence[object],
     start_slots: Union[int, Sequence[int]],
-):
+) -> Tuple[np.ndarray, np.ndarray]:
     """Slice, pad and stack traces into ``(matrix, n_valid)``.
 
     Ragged rows (different lengths or start slots) are padded with
@@ -144,10 +151,10 @@ def map_traces(
     labels: Optional[Sequence[str]] = None,
     journal: "Optional[SweepJournal]" = None,
     keys: Optional[Sequence[str]] = None,
-    serialize: Optional[Callable] = None,
-    deserialize: Optional[Callable] = None,
+    serialize: Optional[Callable[[_R], object]] = None,
+    deserialize: Optional[Callable[[object], _R]] = None,
     return_failures: bool = False,
-):
+) -> "Union[List[_R], ExecutionResult]":
     """Apply ``fn`` over ``items``, optionally on an executor, preserving
     order.  ``max_workers=None`` (or fewer than two items) runs serially;
     ``executor`` chooses ``"thread"`` or ``"process"`` fan-out.
@@ -209,21 +216,21 @@ def map_traces(
         return list(pool.map(fn, items))
 
 
-def _select_kernels():
+def _select_kernels() -> Tuple[Callable[..., dict], Callable[..., dict]]:
     """Kernel pair chosen by ``REPRO_SWEEP_KERNEL`` (``event`` default,
-    ``reference`` for the dense oracle path).  Read per call so workers
-    — which inherit the parent's environment — honor the same choice."""
-    mode = os.environ.get("REPRO_SWEEP_KERNEL", "event").strip().lower()
-    if mode in ("", "event"):
+    ``reference`` for the dense oracle path).  Read per call — through
+    the :data:`repro.constants.SWEEP_KERNEL` registry entry — so workers
+    which inherit the parent's environment honor the same choice."""
+    try:
+        mode = SWEEP_KERNEL.get()
+    except EnvVarError as exc:
+        raise MarketError(str(exc)) from None
+    if mode == "event":
         return onetime_sweep_kernel, persistent_sweep_kernel
-    if mode == "reference":
-        return onetime_sweep_kernel_reference, persistent_sweep_kernel_reference
-    raise MarketError(
-        f"REPRO_SWEEP_KERNEL must be 'event' or 'reference', got {mode!r}"
-    )
+    return onetime_sweep_kernel_reference, persistent_sweep_kernel_reference
 
 
-def _resolve_payload(payload):
+def _resolve_payload(payload: Tuple[Any, ...]) -> Tuple[np.ndarray, np.ndarray]:
     """Materialize a chunk payload into ``(prices, n_valid)`` arrays.
 
     ``("inline", prices, n_valid)`` carries the arrays by value (serial
@@ -241,7 +248,7 @@ def _resolve_payload(payload):
     raise MarketError(f"unknown chunk payload kind {kind!r}")
 
 
-def _run_kernel_chunk(args):
+def _run_kernel_chunk(args: Tuple[Any, ...]) -> dict:
     """Top-level (picklable) kernel dispatcher for executor fan-out.
 
     Besides the kernel fields, the returned dict reports the chunk's

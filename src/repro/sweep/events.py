@@ -40,7 +40,7 @@ true work metric for this kernel family.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,9 @@ def _price_ranks(prices: np.ndarray) -> np.ndarray:
     return rank
 
 
-def _dedup_lanes(accepted_total: np.ndarray, n_slots: int):
+def _dedup_lanes(
+    accepted_total: np.ndarray, n_slots: int
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
     """Collapse the ``(T, B)`` grid to unique ``(trace, count)`` lanes.
 
     Returns ``(flat_alive, inverse, u_trace, u_cnt)``: the flat cell
@@ -86,7 +88,15 @@ def _dedup_lanes(accepted_total: np.ndarray, n_slots: int):
     return flat_alive, inverse, u_trace, u_cnt
 
 
-def _block_events(rank, trace, cnt, lo, hi, lane_lo=None, lane_hi=None):
+def _block_events(
+    rank: np.ndarray,
+    trace: np.ndarray,
+    cnt: np.ndarray,
+    lo: int,
+    hi: int,
+    lane_lo: Optional[np.ndarray] = None,
+    lane_hi: Optional[np.ndarray] = None,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
     """Accepted slots of each live lane within slot block ``[lo, hi)``.
 
     Returns ``(slots, counts)``: ``slots[i, k]`` is lane ``i``'s k-th

@@ -36,7 +36,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def _prepare(
     prices: np.ndarray,
     bids: np.ndarray,
     n_valid: Optional[np.ndarray],
-):
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Validate and broadcast kernel inputs.
 
     Returns ``(prices, bids2, n_valid, accepted_total)`` where ``bids2``

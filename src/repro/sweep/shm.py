@@ -53,7 +53,7 @@ class StackDescriptor:
 
 
 def _views(
-    buf, descriptor: StackDescriptor
+    buf: memoryview, descriptor: StackDescriptor
 ) -> Tuple[np.ndarray, np.ndarray]:
     n_traces, n_slots = descriptor.n_traces, descriptor.n_slots
     prices = np.ndarray((n_traces, n_slots), dtype=np.float64, buffer=buf)
@@ -70,7 +70,7 @@ class SharedPriceStack:
     segment, so descriptors must not outlive the ``with`` block.
     """
 
-    def __init__(self, matrix: np.ndarray, n_valid: np.ndarray):
+    def __init__(self, matrix: np.ndarray, n_valid: np.ndarray) -> None:
         matrix = np.ascontiguousarray(matrix, dtype=np.float64)
         n_valid = np.ascontiguousarray(n_valid, dtype=np.int64)
         if matrix.ndim != 2 or n_valid.shape != (matrix.shape[0],):
@@ -123,7 +123,7 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 
     original = resource_tracker.register
 
-    def _skip(res_name, rtype):
+    def _skip(res_name: str, rtype: str) -> None:
         if rtype != "shared_memory":  # pragma: no cover - defensive
             original(res_name, rtype)
 

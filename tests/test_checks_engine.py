@@ -1,0 +1,228 @@
+"""Mechanics of the repro.checks rule engine.
+
+Covers the suppression grammar (``# repro: noqa(...)`` /
+``# repro: noqa-file(...)``), the RB000 parse-error pseudo-rule, the
+JSON report schema, exit codes, file discovery, and the CLI front end —
+all against a throwaway rule so the tests are independent of the
+shipped catalog.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import SCHEMA, Finding, Rule, run_checks
+from repro.checks.cli import main as checks_main
+from repro.checks.engine import (
+    PARSE_ERROR_ID,
+    CheckEngine,
+    find_root,
+    iter_python_files,
+)
+
+
+class FlagBadCalls(Rule):
+    """Test rule: every call to a function literally named ``bad``."""
+
+    rule_id = "RB901"
+    name = "no-bad-calls"
+    description = "flags bad() calls"
+    node_types = (ast.Call,)
+
+    def visit(self, node, ancestors, ctx, report):
+        if isinstance(node.func, ast.Name) and node.func.id == "bad":
+            report.at_node(ctx, node, "call to bad()")
+
+
+def write_project(tmp_path, files):
+    """Lay out a throwaway repo with a pyproject.toml root marker."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def check(tmp_path, files, rules=None):
+    root = write_project(tmp_path, files)
+    if rules is None:
+        rules = [FlagBadCalls()]
+    return run_checks([root / "src"], rules=rules, root=root)
+
+
+class TestSuppressions:
+    def test_unsuppressed_finding_is_reported(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "bad()\n"})
+        assert result.exit_code == 1
+        (finding,) = result.findings
+        assert finding.rule_id == "RB901"
+        assert finding.path == "src/m.py"
+        assert finding.line == 1
+
+    def test_line_noqa_with_matching_id(self, tmp_path):
+        result = check(
+            tmp_path, {"src/m.py": "bad()  # repro: noqa(RB901)\n"}
+        )
+        assert result.findings == ()
+
+    def test_line_noqa_with_other_id_does_not_suppress(self, tmp_path):
+        result = check(
+            tmp_path, {"src/m.py": "bad()  # repro: noqa(RB101)\n"}
+        )
+        assert result.exit_code == 1
+
+    def test_bare_line_noqa_suppresses_all_rules(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "bad()  # repro: noqa\n"})
+        assert result.findings == ()
+
+    def test_multiple_ids_comma_separated(self, tmp_path):
+        result = check(
+            tmp_path,
+            {"src/m.py": "bad()  # repro: noqa(RB101, RB901)\n"},
+        )
+        assert result.findings == ()
+
+    def test_noqa_only_covers_its_line(self, tmp_path):
+        source = "bad()  # repro: noqa(RB901)\nbad()\n"
+        result = check(tmp_path, {"src/m.py": source})
+        (finding,) = result.findings
+        assert finding.line == 2
+
+    def test_file_noqa_suppresses_everywhere(self, tmp_path):
+        source = "# repro: noqa-file(RB901)\nbad()\nbad()\n"
+        result = check(tmp_path, {"src/m.py": source})
+        assert result.findings == ()
+
+    def test_file_noqa_requires_ids(self, tmp_path):
+        # A bare noqa-file() is not part of the grammar: it neither
+        # parses as a file suppression nor silences anything.
+        source = "# repro: noqa-file\nbad()\n"
+        result = check(tmp_path, {"src/m.py": source})
+        assert result.exit_code == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rb000(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "def broken(:\n"})
+        (finding,) = result.findings
+        assert finding.rule_id == PARSE_ERROR_ID
+        assert "parse" in finding.message
+        assert result.exit_code == 1
+
+    def test_other_files_still_checked(self, tmp_path):
+        result = check(
+            tmp_path,
+            {"src/broken.py": "def broken(:\n", "src/m.py": "bad()\n"},
+        )
+        assert {f.rule_id for f in result.findings} == {
+            PARSE_ERROR_ID,
+            "RB901",
+        }
+
+
+class TestReporting:
+    def test_json_document_schema(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "bad()\nbad()\n"})
+        document = json.loads(result.render_json())
+        assert document["schema"] == SCHEMA
+        assert document["files_scanned"] == 1
+        assert document["counts"] == {"RB901": 2}
+        assert len(document["findings"]) == 2
+        first = document["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "message"}
+
+    def test_human_rendering(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "bad()\n"})
+        text = result.render_human()
+        assert "src/m.py:1:0: RB901 call to bad()" in text
+        assert text.endswith("1 finding in 1 file(s)")
+
+    def test_findings_sorted_by_position(self, tmp_path):
+        result = check(
+            tmp_path,
+            {"src/b.py": "bad()\n", "src/a.py": "x = 1\nbad()\n"},
+        )
+        assert [f.path for f in result.findings] == ["src/a.py", "src/b.py"]
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        result = check(tmp_path, {"src/m.py": "good()\n"})
+        assert result.exit_code == 0
+        assert result.render_human() == "0 findings in 1 file(s)"
+
+    def test_finding_render_is_stable(self):
+        finding = Finding("src/m.py", 3, 4, "RB901", "msg")
+        assert finding.render() == "src/m.py:3:4: RB901 msg"
+
+
+class TestEngineValidation:
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CheckEngine([FlagBadCalls(), FlagBadCalls()])
+
+    def test_invalid_rule_id_rejected(self):
+        class Nameless(FlagBadCalls):
+            rule_id = "bogus"
+
+        with pytest.raises(ValueError, match="invalid rule id"):
+            CheckEngine([Nameless()])
+
+
+class TestFileDiscovery:
+    def test_iter_python_files_dedups_and_sorts(self, tmp_path):
+        root = write_project(
+            tmp_path, {"src/a.py": "", "src/b.py": "", "src/c.txt": ""}
+        )
+        files = iter_python_files(
+            [root / "src", root / "src" / "a.py"]
+        )
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_pycache_skipped(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"src/a.py": "", "src/__pycache__/a.cpython-312.py": ""},
+        )
+        files = iter_python_files([root / "src"])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_find_root_walks_up_to_pyproject(self, tmp_path):
+        root = write_project(tmp_path, {"src/pkg/m.py": ""})
+        assert find_root(root / "src" / "pkg" / "m.py") == tmp_path.resolve()
+
+
+class TestCli:
+    def test_json_output_and_exit_code(self, tmp_path, capsys):
+        # The shipped rules do not flag this snippet; use the default
+        # catalog end-to-end through the CLI.
+        root = write_project(tmp_path, {"src/m.py": "x = 1\n"})
+        code = checks_main(
+            ["--root", str(root), "--format", "json", str(root / "src")]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["schema"] == SCHEMA
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        root = write_project(tmp_path, {})
+        code = checks_main(["--root", str(root), str(root / "nope")])
+        assert code == 1
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert checks_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RB101", "RB201", "RB301", "RB401", "RB501", "RB601"):
+            assert rule_id in out
+
+    def test_determinism_finding_through_cli(self, tmp_path, capsys):
+        root = write_project(
+            tmp_path,
+            {"src/m.py": "import numpy as np\nx = np.random.uniform()\n"},
+        )
+        code = checks_main(["--root", str(root), str(root / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RB101" in out

@@ -41,3 +41,67 @@ def test_minutes_converts_to_hours():
 def test_negative_durations_rejected(fn):
     with pytest.raises(ValueError):
         fn(-1.0)
+
+
+class TestEnvVarRegistry:
+    """The central REPRO_* registry (EnvVar / ENV_VARS / env_var)."""
+
+    def test_defaults_apply_when_unset(self, monkeypatch):
+        from repro.constants import DIST_CACHE_SIZE, SWEEP_KERNEL
+
+        monkeypatch.delenv("REPRO_SWEEP_KERNEL", raising=False)
+        monkeypatch.delenv("REPRO_DIST_CACHE_SIZE", raising=False)
+        assert SWEEP_KERNEL.get() == "event"
+        assert DIST_CACHE_SIZE.get() == 64
+
+    def test_empty_and_whitespace_mean_default(self, monkeypatch):
+        from repro.constants import SWEEP_KERNEL
+
+        for raw in ("", "   "):
+            monkeypatch.setenv("REPRO_SWEEP_KERNEL", raw)
+            assert SWEEP_KERNEL.get() == "event"
+
+    def test_values_parse_and_strip(self, monkeypatch):
+        from repro.constants import DIST_CACHE_SIZE, SWEEP_KERNEL
+
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "  reference ")
+        assert SWEEP_KERNEL.get() == "reference"
+        monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", "7")
+        assert DIST_CACHE_SIZE.get() == 7
+
+    def test_invalid_values_raise_envvarerror(self, monkeypatch):
+        from repro.constants import (
+            DIST_CACHE_SIZE,
+            SWEEP_KERNEL,
+            EnvVarError,
+        )
+        from repro.errors import ReproError
+
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "bogus")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_KERNEL"):
+            SWEEP_KERNEL.get()
+        for raw in ("0", "-3", "many"):
+            monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", raw)
+            with pytest.raises(EnvVarError, match="REPRO_DIST_CACHE_SIZE"):
+                DIST_CACHE_SIZE.get()
+        # EnvVarError keeps both legacy contracts alive.
+        assert issubclass(EnvVarError, ReproError)
+        assert issubclass(EnvVarError, ValueError)
+
+    def test_registry_lookup(self):
+        from repro.constants import ENV_VARS, EnvVarError, env_var
+
+        assert set(ENV_VARS) == {
+            "REPRO_SWEEP_KERNEL",
+            "REPRO_DIST_CACHE_SIZE",
+        }
+        assert env_var("REPRO_SWEEP_KERNEL") is ENV_VARS["REPRO_SWEEP_KERNEL"]
+        with pytest.raises(EnvVarError, match="not a registered"):
+            env_var("REPRO_NOPE")
+
+    def test_every_registered_var_has_description(self):
+        from repro.constants import ENV_VARS
+
+        for var in ENV_VARS.values():
+            assert var.description
+            assert var.name.startswith("REPRO_")

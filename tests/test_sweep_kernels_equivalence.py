@@ -235,7 +235,7 @@ class TestEdgeCases:
                 kwargs["recovery_time"] = 0.5
             result = kernel(prices, bids, **kwargs)
             assert result["completed"][0, 0]
-            assert result["completion_time"][0, 0] == pytest.approx(1e-9)
+            assert result["completion_time"][0, 0] == 1e-9
 
     def test_invalid_inputs_rejected_like_reference(self):
         prices = np.ones((2, 3)) * 0.05
