@@ -13,6 +13,7 @@ import numpy as np
 
 from repro import (
     BiddingClient,
+    DecisionRequest,
     JobSpec,
     Strategy,
     generate_equilibrium_history,
@@ -38,7 +39,7 @@ def main() -> None:
     print()
 
     for strategy in (Strategy.ONE_TIME, Strategy.PERSISTENT):
-        decision = client.decide(job, strategy=strategy)
+        decision = client.decide(DecisionRequest(job=job, strategy=strategy))
         print(
             f"{strategy!s:10s}  bid ${decision.price:.4f}/h  "
             f"expected cost ${decision.expected_cost:.4f}  "

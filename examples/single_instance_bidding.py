@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import (
     BiddingClient,
+    DecisionRequest,
     JobSpec,
     Strategy,
     generate_equilibrium_history,
@@ -43,22 +44,25 @@ def main() -> None:
     print(f"== {itype.name}: on-demand ${itype.on_demand_price}/h ==\n")
 
     # --- 1. the strategy menu -----------------------------------------
+    def decide(job: JobSpec, strategy: Strategy):
+        return client.decide(DecisionRequest(job=job, strategy=strategy))
+
     strategies = {
         "one-time": (
             JobSpec(1.0),
-            client.decide(JobSpec(1.0), strategy=Strategy.ONE_TIME),
+            decide(JobSpec(1.0), Strategy.ONE_TIME),
         ),
         "persistent t_r=10s": (
             JobSpec(1.0, seconds(10)),
-            client.decide(JobSpec(1.0, seconds(10)), strategy=Strategy.PERSISTENT),
+            decide(JobSpec(1.0, seconds(10)), Strategy.PERSISTENT),
         ),
         "persistent t_r=30s": (
             JobSpec(1.0, seconds(30)),
-            client.decide(JobSpec(1.0, seconds(30)), strategy=Strategy.PERSISTENT),
+            decide(JobSpec(1.0, seconds(30)), Strategy.PERSISTENT),
         ),
         "90th percentile": (
             JobSpec(1.0, seconds(30)),
-            client.decide(JobSpec(1.0, seconds(30)), strategy=Strategy.PERCENTILE),
+            decide(JobSpec(1.0, seconds(30)), Strategy.PERCENTILE),
         ),
     }
     for label, (_job, d) in strategies.items():

@@ -42,6 +42,8 @@ from .core import (
     BiddingClient,
     BidKind,
     BidRunReport,
+    DecisionRequest,
+    DecisionResponse,
     DegradedDecision,
     EmpiricalPriceDistribution,
     FleetPlan,
@@ -121,6 +123,8 @@ __all__ = [
     "run_fleet",
     "BidKind",
     "BidRunReport",
+    "DecisionRequest",
+    "DecisionResponse",
     "DegradedDecision",
     "EmpiricalPriceDistribution",
     "JobSpec",

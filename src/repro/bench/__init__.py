@@ -12,6 +12,7 @@ from .cases import (
     BenchCase,
     CASES,
     MapReduceBenchCase,
+    ServeBenchCase,
     case_names,
     quick_case_names,
     select_cases,
@@ -24,6 +25,7 @@ __all__ = [
     "CASES",
     "MapReduceBenchCase",
     "Regression",
+    "ServeBenchCase",
     "case_names",
     "compare_reports",
     "quick_case_names",

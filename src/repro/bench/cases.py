@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = [
     "BenchCase",
     "MapReduceBenchCase",
+    "ServeBenchCase",
     "CASES",
     "case_names",
     "quick_case_names",
@@ -206,7 +207,78 @@ class MapReduceBenchCase:
         return self.n_plans * self.n_pairs * per_pair
 
 
-AnyBenchCase = Union[BenchCase, MapReduceBenchCase]
+@dataclass(frozen=True)
+class ServeBenchCase:
+    """One reproducible serving workload (:mod:`repro.serve`).
+
+    The *event* path is the warm table-backed decision service: tables
+    and cache built once, then ``n_requests`` seeded decisions answered
+    in-process through :meth:`~repro.serve.service.BidService.handle`.
+    The *reference* is the pre-serving cost of the same answers — every
+    request rebuilds the empirical distribution from the full history and
+    runs the optimizer from scratch, exactly what a stateless batch
+    client pays per question.  Both paths run the same optimizer code on
+    the same history, so on-grid requests must agree bitwise.
+    """
+
+    name: str
+    n_requests: int
+    n_slots: int
+    grid_shape: Tuple[int, int]
+    ondemand_price: float
+    slot_length: float
+    seed: int
+    on_grid_fraction: float = 0.5
+    quick: bool = False
+
+    # Aliases so serving rows report through the same schema fields
+    # (traces × slots × bids) as the sweep cases: one market trace,
+    # its history length, and one "bid" per served request.
+    @property
+    def n_traces(self) -> int:
+        return 1
+
+    @property
+    def n_bids(self) -> int:
+        return self.n_requests
+
+    @property
+    def lane_slots(self) -> int:
+        """Work volume: decisions served."""
+        return self.n_requests
+
+    @property
+    def label(self) -> str:
+        return "serve"
+
+    def build(self) -> Tuple["SpotPriceHistory", object, List[object]]:
+        """Materialize ``(history, grid, requests)`` for this case."""
+        from ..serve.loadgen import build_requests
+        from ..serve.tables import default_grid
+        from ..traces.history import SpotPriceHistory
+
+        rng = np.random.default_rng(self.seed)
+        floor = rng.uniform(0.02, 0.05)
+        prices = floor + rng.exponential(0.01, size=self.n_slots)
+        spikes = rng.random(self.n_slots) < 0.08
+        prices = np.where(
+            spikes, prices + rng.uniform(0.2, 1.0, size=self.n_slots), prices
+        )
+        history = SpotPriceHistory(
+            prices=np.ascontiguousarray(prices), slot_length=self.slot_length
+        )
+        grid = default_grid(shape=self.grid_shape, slot_length=self.slot_length)
+        requests = build_requests(
+            self.n_requests,
+            grid=grid,
+            slot_length=self.slot_length,
+            rng=rng,
+            on_grid_fraction=self.on_grid_fraction,
+        )
+        return history, grid, requests
+
+
+AnyBenchCase = Union[BenchCase, MapReduceBenchCase, ServeBenchCase]
 
 CASES: List[AnyBenchCase] = [
     BenchCase(
@@ -295,6 +367,27 @@ CASES: List[AnyBenchCase] = [
         slot_length=1.0 / 12.0,
         seed=20150823,
         quick=True,
+    ),
+    # Serving acceptance workloads: warm-table decision latency (small,
+    # CI smoke) and sustained decision throughput (the >=5k/s target).
+    ServeBenchCase(
+        name="serve_latency",
+        n_requests=300,
+        n_slots=2880,
+        grid_shape=(16, 4),
+        ondemand_price=1.5,
+        slot_length=1.0 / 12.0,
+        seed=20150824,
+        quick=True,
+    ),
+    ServeBenchCase(
+        name="serve_throughput",
+        n_requests=2000,
+        n_slots=2880,
+        grid_shape=(32, 8),
+        ondemand_price=1.5,
+        slot_length=1.0 / 12.0,
+        seed=20150825,
     ),
 ]
 

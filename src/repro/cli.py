@@ -45,7 +45,7 @@ import numpy as np
 from . import __version__
 from .constants import seconds
 from .core.client import BiddingClient
-from .core.types import JobSpec, Strategy
+from .core.types import DecisionRequest, JobSpec, Strategy
 from .errors import ReproError
 from .provider.fitting import fit_both_families
 from .traces import io as trace_io
@@ -105,6 +105,24 @@ def _positive_int(text: str) -> int:
             f"must be a positive integer, got {text!r}"
         )
     return value
+
+
+def _grid_shape(text: str) -> "tuple[int, int]":
+    """argparse type: a bid-table grid shape like ``32x8``."""
+    parts = text.lower().split("x")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        n_ts, n_tr = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must look like '32x8' (t_s points x t_r points), got {text!r}"
+        ) from None
+    if n_ts < 2 or n_tr < 1:
+        raise argparse.ArgumentTypeError(
+            f"needs at least 2x1 grid points, got {text!r}"
+        )
+    return n_ts, n_tr
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -303,6 +321,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="list available cases and exit",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run the live bid-decision daemon on a price trace"
+    )
+    p_serve.add_argument("trace", help="bootstrap price-history CSV")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: REPRO_SERVE_PORT; 0 = ephemeral)",
+    )
+    p_serve.add_argument("--ondemand", type=float, default=None)
+    p_serve.add_argument(
+        "--grid", type=_grid_shape, default=None, metavar="NxM",
+        help="bid-table grid shape (default: REPRO_SERVE_TABLE_GRID)",
+    )
+    p_serve.add_argument(
+        "--source", choices=("iid", "replay"), default="iid",
+        help="price feed after bootstrap: iid draws from the trace's "
+        "distribution (endless), or replay of the trace remainder "
+        "(exhaustion then exercises the degradation path)",
+    )
+    p_serve.add_argument(
+        "--split", type=_positive_float, default=0.8,
+        help="with --source replay: fraction of the trace used as the "
+        "bootstrap window",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--rebuild-every", type=_positive_int, default=12,
+        help="rebuild tables every N ingested slots",
+    )
+    p_serve.add_argument(
+        "--stale-slots", type=_positive_int, default=None,
+        help="table staleness TTL in ingested slots "
+        "(default: REPRO_SERVE_STALE_SLOTS)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=_positive_int, default=None,
+        help="decision-cache capacity (default: REPRO_SERVE_CACHE_SIZE)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="enable the persistent file cache tier under this directory",
+    )
+    p_serve.add_argument(
+        "--interval", type=_nonnegative_float, default=0.0,
+        help="seconds between ingest pulls (0 = as fast as the source)",
+    )
+    p_serve.add_argument(
+        "--max-slots", type=_positive_int, default=None,
+        help="stop ingesting after this many slots (serving continues)",
+    )
+    p_serve.add_argument(
+        "--smoke", type=_positive_int, default=None, metavar="N",
+        help="smoke mode: boot on an ephemeral port, fire N loadgen "
+        "requests in-process, print the report and exit",
+    )
+    p_serve.add_argument(
+        "--smoke-connections", type=_positive_int, default=2,
+        help="loadgen connections in smoke mode",
+    )
+    p_serve.add_argument(
+        "--smoke-pipeline", type=_positive_int, default=8,
+        help="requests in flight per connection in smoke mode",
+    )
+    p_serve.add_argument(
+        "--p99-ms", type=_positive_float, default=50.0,
+        help="smoke mode fails if p99 latency exceeds this bound",
+    )
+    p_serve.add_argument(
+        "--hist-out", default=None, metavar="PATH",
+        help="smoke mode: write the latency report JSON here",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen", help="fire a deterministic request stream at a daemon"
+    )
+    p_load.add_argument(
+        "trace", help="price-history CSV fixing slot length and job grid"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument(
+        "-n", "--requests", type=_positive_int, default=1000, dest="requests"
+    )
+    p_load.add_argument("--connections", type=_positive_int, default=4)
+    p_load.add_argument(
+        "--pipeline", type=_positive_int, default=32,
+        help="requests in flight per connection",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--grid", type=_grid_shape, default=None, metavar="NxM",
+        help="job grid the request mix is drawn from "
+        "(default: REPRO_SERVE_TABLE_GRID)",
+    )
+    p_load.add_argument(
+        "--on-grid-fraction", type=_nonnegative_float, default=0.5,
+        help="fraction of requests landing exactly on grid points",
+    )
+    p_load.add_argument(
+        "--hist-out", default=None, metavar="PATH",
+        help="write the latency report JSON here",
+    )
+
     p_check = sub.add_parser(
         "check",
         help="run the repo-aware static-analysis suite (repro.checks)",
@@ -373,8 +495,10 @@ def _cmd_bid(args: argparse.Namespace) -> int:
         f"on-demand=${ondemand:.4f}/h  history={history.n_slots} slots"
     )
     for strategy in strategies:
-        decision = client.decide(job, strategy=strategy, percentile=args.percentile)
-        _print_decision(str(strategy), decision)
+        response = client.decide(
+            DecisionRequest(job=job, strategy=strategy, percentile=args.percentile)
+        )
+        _print_decision(str(strategy), response.decision)
     return 0
 
 
@@ -769,6 +893,161 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return run_check(args)
 
 
+def _print_load_report(report, *, hist_out: Optional[str] = None) -> None:
+    import json
+
+    print(
+        f"requests={report.n_requests} errors={report.errors} "
+        f"qps={report.qps:.0f} p50={report.p50_ms:.3f}ms "
+        f"p99={report.p99_ms:.3f}ms over {report.duration_s:.2f}s"
+    )
+    if hist_out:
+        with open(hist_out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {hist_out}")
+
+
+def _build_serve_service(args: argparse.Namespace):
+    """Shared setup of the serve command: market state + service."""
+    from .core.distcache import cached_distribution
+    from .market.price_sources import IIDPriceSource, TracePriceSource
+    from .serve import BidService, DecisionCache, MarketState, default_grid
+
+    history = trace_io.read_csv(args.trace)
+    ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+    if args.source == "replay":
+        boot_slots = int(history.n_slots * min(args.split, 1.0))
+        if not 2 <= boot_slots < history.n_slots:
+            raise ReproError(
+                f"--split {args.split!r} leaves no bootstrap window or no "
+                f"future to replay in a {history.n_slots}-slot trace"
+            )
+        boot = history.slice_slots(0, boot_slots)
+        source = TracePriceSource(history, start_slot=boot_slots)
+    else:
+        boot = history
+        source = IIDPriceSource(
+            cached_distribution(history), np.random.default_rng(args.seed)
+        )
+    grid = default_grid(shape=args.grid, slot_length=boot.slot_length)
+    state = MarketState(
+        source,
+        initial_history=boot,
+        ondemand_price=ondemand,
+        grid=grid,
+        rebuild_every=args.rebuild_every,
+    )
+    cache = DecisionCache(capacity=args.cache_size, directory=args.cache_dir)
+    service = BidService(state, cache=cache, stale_after=args.stale_slots)
+    return service, state, grid
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .constants import SERVE_PORT
+    from .serve import IngestLoop, build_requests, run_loadgen, start_server
+
+    service, state, grid = _build_serve_service(args)
+
+    if args.smoke is not None:
+
+        async def _smoke() -> int:
+            server = await start_server(service, host=args.host, port=0)
+            port = server.sockets[0].getsockname()[1]
+            requests = build_requests(
+                args.smoke,
+                grid=grid,
+                slot_length=state.history().slot_length,
+                rng=np.random.default_rng(args.seed),
+            )
+            # Warm the tables/cache path before the measured run.
+            warm = requests[: min(len(requests), 100)]
+            await run_loadgen(
+                args.host, port, warm,
+                connections=1, pipeline=args.smoke_pipeline,
+            )
+            report = await run_loadgen(
+                args.host, port, requests,
+                connections=args.smoke_connections,
+                pipeline=args.smoke_pipeline,
+            )
+            server.close()
+            await server.wait_closed()
+            _print_load_report(report, hist_out=args.hist_out)
+            if report.errors:
+                print(f"error: {report.errors} failed requests", file=sys.stderr)
+                return 1
+            if report.p99_ms > args.p99_ms:
+                print(
+                    f"error: p99 {report.p99_ms:.3f}ms exceeds the "
+                    f"{args.p99_ms:g}ms bound",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+
+        return asyncio.run(_smoke())
+
+    port = args.port if args.port is not None else SERVE_PORT.get()
+
+    async def _run() -> None:
+        server = await start_server(
+            service,
+            host=args.host,
+            port=port,
+            ingest=IngestLoop(state, interval=args.interval),
+            max_ingest_slots=args.max_slots,
+        )
+        bound = server.sockets[0].getsockname()[1]
+        print(
+            f"serving {state.instance_type or 'trace'} on "
+            f"{args.host}:{bound}  table={state.tables.version}  "
+            f"grid={grid.shape[0]}x{grid.shape[1]}"
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import build_requests, default_grid, run_loadgen
+
+    history = trace_io.read_csv(args.trace)
+    grid = default_grid(shape=args.grid, slot_length=history.slot_length)
+    on_grid = args.on_grid_fraction
+    if on_grid > 1.0:
+        raise ReproError(
+            f"--on-grid-fraction must be within [0, 1], got {on_grid!r}"
+        )
+    requests = build_requests(
+        args.requests,
+        grid=grid,
+        slot_length=history.slot_length,
+        rng=np.random.default_rng(args.seed),
+        on_grid_fraction=on_grid,
+    )
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            requests,
+            connections=args.connections,
+            pipeline=args.pipeline,
+        )
+    )
+    _print_load_report(report, hist_out=args.hist_out)
+    return 1 if report.errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -785,6 +1064,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mapreduce": _cmd_mapreduce,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "check": _cmd_check,
         "catalog": _cmd_catalog,
     }

@@ -140,21 +140,114 @@ SWEEP_KERNEL: "EnvVar[str]" = EnvVar(
 )
 
 #: Bound on the process-local memoized-distribution cache
-#: (:mod:`repro.sweep.cache`).
+#: (:mod:`repro.core.distcache`).
 DIST_CACHE_SIZE: "EnvVar[int]" = EnvVar(
     name="REPRO_DIST_CACHE_SIZE",
     default=64,
     parse=_parse_dist_cache_size,
     description="Maximum number of distinct price histories kept alive "
-    "by the distribution cache in repro.sweep.cache.",
+    "by the distribution cache in repro.core.distcache.",
     values="positive integer (default 64)",
+)
+
+def _parse_serve_port(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvVarError(
+            f"REPRO_SERVE_PORT must be an integer in [0, 65535], got {raw!r}"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise EnvVarError(
+            f"REPRO_SERVE_PORT must be an integer in [0, 65535], got {raw!r}"
+        )
+    return value
+
+
+def _parse_serve_grid(raw: str) -> Tuple[int, int]:
+    parts = raw.lower().split("x")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        n_ts, n_tr = (int(p) for p in parts)
+    except ValueError:
+        raise EnvVarError(
+            f"REPRO_SERVE_TABLE_GRID must look like '32x8' "
+            f"(execution-time points x recovery-time points), got {raw!r}"
+        ) from None
+    if n_ts < 2 or n_tr < 1:
+        raise EnvVarError(
+            f"REPRO_SERVE_TABLE_GRID needs at least 2 execution-time and "
+            f"1 recovery-time points, got {raw!r}"
+        )
+    return n_ts, n_tr
+
+
+def _parse_positive_int(name: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvVarError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise EnvVarError(f"{name} must be a positive integer, got {raw!r}")
+    return value
+
+
+#: Default TCP port of the ``repro-bid serve`` daemon.
+SERVE_PORT: "EnvVar[int]" = EnvVar(
+    name="REPRO_SERVE_PORT",
+    default=7787,
+    parse=_parse_serve_port,
+    description="Default TCP port the repro.serve daemon listens on "
+    "(0 picks an ephemeral port).",
+    values="integer in [0, 65535] (default 7787)",
+)
+
+#: Bid-table resolution used by :mod:`repro.serve.tables`.
+SERVE_TABLE_GRID: "EnvVar[Tuple[int, int]]" = EnvVar(
+    name="REPRO_SERVE_TABLE_GRID",
+    default=(32, 8),
+    parse=_parse_serve_grid,
+    description="Bid-table grid resolution for repro.serve, as "
+    "execution-time x recovery-time bucket counts.",
+    values="'<n_ts>x<n_tr>' with n_ts >= 2, n_tr >= 1 (default 32x8)",
+)
+
+#: Capacity of the in-process decision LRU in :mod:`repro.serve.cache`.
+SERVE_CACHE_SIZE: "EnvVar[int]" = EnvVar(
+    name="REPRO_SERVE_CACHE_SIZE",
+    default=4096,
+    parse=lambda raw: _parse_positive_int("REPRO_SERVE_CACHE_SIZE", raw),
+    description="Maximum number of decision responses kept in the "
+    "serving layer's in-process LRU cache.",
+    values="positive integer (default 4096)",
+)
+
+#: Staleness TTL of served bid tables, in ingest slots.
+SERVE_STALE_SLOTS: "EnvVar[int]" = EnvVar(
+    name="REPRO_SERVE_STALE_SLOTS",
+    default=SLOTS_PER_DAY,
+    parse=lambda raw: _parse_positive_int("REPRO_SERVE_STALE_SLOTS", raw),
+    description="Number of ingested market slots after which a bid table "
+    "counts as stale and the service degrades to the on-demand fallback.",
+    values=f"positive integer (default {SLOTS_PER_DAY}, one day of slots)",
 )
 
 #: Every environment variable the package reads, keyed by name.  New
 #: ``REPRO_*`` switches must be added here (rule ``RB301``) and to the
 #: table in ``docs/development.md``.
 ENV_VARS: Mapping[str, "EnvVar[object]"] = {
-    var.name: var for var in (SWEEP_KERNEL, DIST_CACHE_SIZE)
+    var.name: var
+    for var in (
+        SWEEP_KERNEL,
+        DIST_CACHE_SIZE,
+        SERVE_PORT,
+        SERVE_TABLE_GRID,
+        SERVE_CACHE_SIZE,
+        SERVE_STALE_SLOTS,
+    )
 }
 
 

@@ -36,8 +36,15 @@ from .mapreduce import (
 )
 from .onetime import optimal_onetime_bid
 from .persistent import optimal_persistent_bid
+from .distcache import (
+    cached_distribution,
+    clear_distribution_cache,
+    distribution_cache_stats,
+)
 from .types import (
     BidDecision,
+    DecisionRequest,
+    DecisionResponse,
     DegradedDecision,
     BidKind,
     CompletionStats,
@@ -73,7 +80,12 @@ __all__ = [
     "plan_with_optimal_slaves",
     "optimal_onetime_bid",
     "optimal_persistent_bid",
+    "cached_distribution",
+    "clear_distribution_cache",
+    "distribution_cache_stats",
     "BidDecision",
+    "DecisionRequest",
+    "DecisionResponse",
     "DegradedDecision",
     "BidKind",
     "CompletionStats",

@@ -11,12 +11,15 @@ standard backtest protocol used by every Section 7 experiment.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from ..errors import InfeasibleBidError, MarketError
 from ..market.price_sources import TracePriceSource
 from ..market.simulator import JobOutcome, SpotMarket
 from ..traces.history import SpotPriceHistory
+from .distcache import cached_distribution
 from .distributions import EmpiricalPriceDistribution
 from .heuristics import percentile_bid
 from .onetime import optimal_onetime_bid
@@ -24,13 +27,21 @@ from .persistent import optimal_persistent_bid
 from .types import (
     BidDecision,
     BidKind,
+    DecisionRequest,
+    DecisionResponse,
     DegradedDecision,
     JobSpec,
     Strategy,
-    normalize_strategy,
 )
 
 __all__ = ["BidRunReport", "BiddingClient"]
+
+_KWARGS_DEPRECATION = (
+    "passing a JobSpec with keyword arguments to BiddingClient.decide is "
+    "deprecated; wrap the job in a repro.core.types.DecisionRequest "
+    "(decide(DecisionRequest(job=job, strategy=...)) returns a "
+    "DecisionResponse)"
+)
 
 
 @dataclass(frozen=True)
@@ -64,49 +75,88 @@ class BiddingClient:
             )
         self.history = history
         self.ondemand_price = float(ondemand_price)
-        # Deferred import: repro.sweep depends on repro.core at import time.
-        from ..sweep.cache import cached_distribution
-
         self.distribution: EmpiricalPriceDistribution = cached_distribution(history)
 
     # -- bid calculation (Figure 1's "bid calculator") --------------------
     def decide(
         self,
-        job: JobSpec,
+        request: Union[DecisionRequest, JobSpec],
         *,
-        strategy: "Strategy | str" = Strategy.PERSISTENT,
-        percentile: float = 90.0,
-        degrade: bool = False,
-    ) -> BidDecision:
-        """Compute a bid for ``job`` with the chosen strategy.
+        strategy: "Strategy | str | None" = None,
+        percentile: Optional[float] = None,
+        degrade: Optional[bool] = None,
+    ) -> Union[DecisionResponse, BidDecision]:
+        """Compute a bid for a :class:`~repro.core.types.DecisionRequest`.
 
-        ``strategy`` is a :class:`~repro.core.types.Strategy` member:
-        ``Strategy.ONE_TIME`` (Prop. 4), ``Strategy.PERSISTENT`` (Prop. 5)
-        or ``Strategy.PERCENTILE`` (the Section 7 heuristic baseline,
-        using ``percentile``).  Legacy strings are accepted with a
-        :class:`DeprecationWarning`.
+        The request names the job, the strategy (``Strategy.ONE_TIME``,
+        Prop. 4; ``Strategy.PERSISTENT``, Prop. 5; ``Strategy.PERCENTILE``,
+        the Section 7 heuristic baseline) and the degradation policy; the
+        returned :class:`~repro.core.types.DecisionResponse` carries the
+        :class:`~repro.core.types.BidDecision` plus serving metadata.
 
-        With ``degrade=True`` an infeasible optimization (every bid
-        violates the constraints — typical of fault-perturbed price
-        distributions) falls back to the on-demand baseline and returns
-        a :class:`~repro.core.types.DegradedDecision` instead of raising
+        With ``request.degrade`` set, an infeasible optimization (every
+        bid violates the constraints — typical of fault-perturbed price
+        distributions) falls back to the on-demand baseline: the response
+        wraps a :class:`~repro.core.types.DegradedDecision` and names the
+        degradation reason instead of raising
         :class:`~repro.errors.InfeasibleBidError`.
+
+        Passing a bare :class:`~repro.core.types.JobSpec` with keyword
+        arguments is the deprecated pre-serving form; it returns the bare
+        ``BidDecision`` and emits a :class:`DeprecationWarning`.
         """
-        strategy = normalize_strategy(strategy)
+        if isinstance(request, DecisionRequest):
+            if strategy is not None or percentile is not None or degrade is not None:
+                raise TypeError(
+                    "decide() accepts either a DecisionRequest or the "
+                    "deprecated JobSpec-with-keywords form, not both"
+                )
+            return self.respond(request)
+        warnings.warn(_KWARGS_DEPRECATION, DeprecationWarning, stacklevel=2)
+        legacy = DecisionRequest(
+            job=request,
+            strategy=Strategy.PERSISTENT if strategy is None else strategy,
+            percentile=90.0 if percentile is None else percentile,
+            degrade=bool(degrade),
+        )
+        return self.respond(legacy).decision
+
+    def respond(self, request: DecisionRequest) -> DecisionResponse:
+        """The single decision path shared by the library and ``repro.serve``.
+
+        Dispatches ``request`` to the strategy optimizers and wraps the
+        result; serving layers stamp table/cache metadata onto the
+        response via :meth:`DecisionResponse.with_serving`.
+        """
+        job = request.job
         try:
-            if strategy is Strategy.ONE_TIME:
-                return optimal_onetime_bid(
+            if request.strategy is Strategy.ONE_TIME:
+                decision: BidDecision = optimal_onetime_bid(
                     self.distribution, job, ondemand_price=self.ondemand_price
                 )
-            if strategy is Strategy.PERSISTENT:
-                return optimal_persistent_bid(
+            elif request.strategy is Strategy.PERSISTENT:
+                decision = optimal_persistent_bid(
                     self.distribution, job, ondemand_price=self.ondemand_price
                 )
-            return percentile_bid(self.distribution, job, percentile=percentile)
+            else:
+                decision = percentile_bid(
+                    self.distribution, job, percentile=request.percentile
+                )
         except InfeasibleBidError as exc:
-            if not degrade:
+            if not request.degrade:
                 raise
-            return self.degraded_decision(job, strategy=strategy, reason=str(exc))
+            degraded = self.degraded_decision(
+                job, strategy=request.strategy, reason=str(exc)
+            )
+            return DecisionResponse(
+                decision=degraded,
+                request=request,
+                cache_tier="compute",
+                degradation_reason=degraded.reason,
+            )
+        return DecisionResponse(
+            decision=decision, request=request, cache_tier="compute"
+        )
 
     def degraded_decision(
         self,
@@ -135,7 +185,7 @@ class BiddingClient:
     # -- execution (Figure 1's "job monitor") ------------------------------
     def execute(
         self,
-        decision: BidDecision,
+        decision: Union[BidDecision, DecisionResponse],
         job: JobSpec,
         future: SpotPriceHistory,
         *,
@@ -144,12 +194,18 @@ class BiddingClient:
     ) -> JobOutcome:
         """Run a bid against held-out future prices on the simulator.
 
+        Accepts the :class:`~repro.core.types.BidDecision` directly or a
+        :class:`~repro.core.types.DecisionResponse` from :meth:`decide`
+        (the wrapped decision is executed).
+
         With ``fallback_ondemand`` a failed one-time request is assumed to
         be rerun from scratch on an on-demand instance (the paper notes
         users "may default to on-demand instances if the jobs are not
         completed"); the reported cost then includes both the wasted spot
         spend and the on-demand rerun.
         """
+        if isinstance(decision, DecisionResponse):
+            decision = decision.decision
         if future.slot_length != job.slot_length:
             raise MarketError(
                 f"future trace slot length {future.slot_length!r} differs from "
@@ -192,15 +248,17 @@ class BiddingClient:
         fallback_ondemand: bool = False,
     ) -> BidRunReport:
         """Decide and execute in one call; returns prediction and outcome."""
-        decision = self.decide(job, strategy=strategy, percentile=percentile)
+        response = self.respond(
+            DecisionRequest(job=job, strategy=strategy, percentile=percentile)
+        )
         outcome = self.execute(
-            decision,
+            response.decision,
             job,
             future,
             start_slot=start_slot,
             fallback_ondemand=fallback_ondemand,
         )
-        return BidRunReport(decision=decision, outcome=outcome)
+        return BidRunReport(decision=response.decision, outcome=outcome)
 
     def ondemand_cost(self, job: JobSpec) -> float:
         """Baseline cost of the job on an on-demand instance."""

@@ -326,6 +326,125 @@ class DegradedDecision(BidDecision):
 
 
 @dataclass(frozen=True)
+class DecisionRequest:
+    """One "what should I bid for this job?" question (Figure 1's input).
+
+    The request form is the canonical way to ask
+    :meth:`~repro.core.client.BiddingClient.decide` for a bid — batch
+    callers and the :mod:`repro.serve` daemon build the same object, so
+    their answers are comparable artifacts.  The legacy
+    ``decide(job, strategy=..., ...)`` keyword form survives as a
+    deprecated shim that wraps its arguments in one of these.
+
+    Parameters
+    ----------
+    job:
+        The :class:`JobSpec` to bid for.
+    strategy:
+        The bidding strategy; legacy strings are accepted through
+        :func:`normalize_strategy` (with its :class:`DeprecationWarning`).
+    percentile:
+        Heuristic percentile, only meaningful for
+        :attr:`Strategy.PERCENTILE`.
+    degrade:
+        With ``True``, an infeasible optimization falls back to the
+        on-demand baseline (a :class:`DegradedDecision`) instead of
+        raising :class:`~repro.errors.InfeasibleBidError`.
+    instance_type:
+        Optional routing key for multi-market servers; the in-process
+        client ignores it.
+    """
+
+    job: JobSpec
+    strategy: Strategy = Strategy.PERSISTENT
+    percentile: float = 90.0
+    degrade: bool = False
+    instance_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strategy", normalize_strategy(self.strategy))
+        if not (0.0 <= self.percentile <= 100.0):
+            raise ValueError(
+                f"percentile must be within [0, 100], got {self.percentile!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DecisionResponse:
+    """A :class:`BidDecision` plus the provenance serving attached to it.
+
+    Batch decisions carry ``table_version=None`` / ``cache_tier=None``
+    (computed inline from the client's own distribution); decisions
+    answered by :mod:`repro.serve` record which bid-table version and
+    cache tier produced them, and why the service degraded to the
+    on-demand fallback if it did.  The decision's own numeric fields are
+    exposed as passthrough properties so response objects read like the
+    decisions they wrap.
+    """
+
+    decision: BidDecision
+    request: DecisionRequest
+    #: Version of the bid table that answered this request (serving only).
+    table_version: Optional[str] = None
+    #: Cache tier that produced the payload: ``"memory"``, ``"file"``,
+    #: ``"table"`` or ``"compute"``; ``None`` for inline batch decisions.
+    cache_tier: Optional[str] = None
+    #: Why the service fell back to on demand (``None`` when it did not).
+    degradation_reason: Optional[str] = None
+
+    @property
+    def price(self) -> float:
+        return self.decision.price
+
+    @property
+    def kind(self) -> BidKind:
+        return self.decision.kind
+
+    @property
+    def expected_cost(self) -> float:
+        return self.decision.expected_cost
+
+    @property
+    def expected_completion_time(self) -> Optional[float]:
+        return self.decision.expected_completion_time
+
+    @property
+    def expected_running_time(self) -> Optional[float]:
+        return self.decision.expected_running_time
+
+    @property
+    def expected_interruptions(self) -> Optional[float]:
+        return self.decision.expected_interruptions
+
+    @property
+    def acceptance_probability(self) -> Optional[float]:
+        return self.decision.acceptance_probability
+
+    @property
+    def degraded(self) -> bool:
+        return self.decision.degraded
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.request.strategy
+
+    def with_serving(
+        self,
+        *,
+        table_version: Optional[str] = None,
+        cache_tier: Optional[str] = None,
+        degradation_reason: Optional[str] = None,
+    ) -> "DecisionResponse":
+        """Copy of this response with serving provenance attached."""
+        return replace(
+            self,
+            table_version=table_version,
+            cache_tier=cache_tier,
+            degradation_reason=degradation_reason,
+        )
+
+
+@dataclass(frozen=True)
 class MapReducePlan:
     """A complete bidding plan for a MapReduce job (Section 6.2).
 

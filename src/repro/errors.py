@@ -54,3 +54,9 @@ class FaultError(ReproError):
 class SweepExecutionError(ReproError):
     """A sweep work item failed permanently (retries exhausted, timeout,
     or a journal that does not match the sweep being resumed)."""
+
+
+class ServeError(ReproError):
+    """The bid-decision service was misconfigured or asked an
+    unanswerable question (job outside every table's grid coverage,
+    malformed wire request, ...)."""

@@ -28,7 +28,7 @@ from ..core import costs
 from ..core.onetime import optimal_onetime_bid
 from ..core.persistent import optimal_persistent_bid
 from ..core.mapreduce import optimal_parallel_bid
-from ..core.types import BidKind, JobSpec, ParallelJobSpec, Strategy
+from ..core.types import BidKind, DecisionRequest, JobSpec, ParallelJobSpec, Strategy
 from ..extensions.correlated import lag1_price_persistence
 from ..market.price_sources import TracePriceSource
 from ..market.simulator import SpotMarket
@@ -501,7 +501,9 @@ def forecasting_comparison(
     job = JobSpec(1.0, seconds(30), slot_length=config.slot_length)
 
     decisions = {
-        "stationary-ecdf": client.decide(job, strategy=Strategy.PERSISTENT),
+        "stationary-ecdf": client.respond(
+            DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+        ).decision,
         "ewma": forecast_bid(EwmaForecaster(), history, job),
         "ar1": forecast_bid(Ar1Forecaster(), history, job),
     }
@@ -1026,7 +1028,9 @@ def history_length_sensitivity(
             client = BiddingClient(
                 history, ondemand_price=itype.on_demand_price
             )
-            decision = client.decide(job, strategy=Strategy.PERSISTENT)
+            decision = client.respond(
+                DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+            ).decision
             bids.append(decision.price)
             _, future = history_and_future(itype, config, 99, rep)
             futures.append(future)

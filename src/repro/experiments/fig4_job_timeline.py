@@ -16,7 +16,7 @@ from typing import List, Tuple
 
 from ..constants import seconds
 from ..core.client import BiddingClient
-from ..core.types import JobSpec, Strategy
+from ..core.types import DecisionRequest, JobSpec, Strategy
 from ..market.events import EventKind
 from ..market.price_sources import TracePriceSource
 from ..market.simulator import JobOutcome, SpotMarket
@@ -71,7 +71,9 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig4Result:
     job = JobSpec(
         execution_time=1.0, recovery_time=seconds(30), slot_length=config.slot_length
     )
-    decision = client.decide(job, strategy=Strategy.PERSISTENT)
+    decision = client.respond(
+        DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+    ).decision
 
     # The paper picked an illustrative day whose run shows interruptions
     # (two, in their Figure 4).  Search a handful of candidate spiky days

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..analysis.stats import savings_fraction
 from ..core.client import BiddingClient
-from ..core.types import JobSpec, Strategy
+from ..core.types import DecisionRequest, JobSpec, Strategy
 from ..sweep import run_sweep
 from ..traces.catalog import TABLE3_TYPES, get_instance_type
 from .common import (
@@ -99,7 +99,9 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig5Result:
         itype = get_instance_type(name)
         history, _ = history_and_future(itype, config, 50)
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
-        decision = client.decide(job, strategy=Strategy.ONE_TIME)
+        decision = client.respond(
+            DecisionRequest(job=job, strategy=Strategy.ONE_TIME)
+        ).decision
         rng = config.rng(5, zlib.crc32(name.encode()))
         futures = []
         starts = []

@@ -24,7 +24,7 @@ import numpy as np
 from ..analysis.stats import percent_difference
 from ..constants import seconds
 from ..core.client import BiddingClient
-from ..core.types import JobSpec, Strategy
+from ..core.types import DecisionRequest, JobSpec, Strategy
 from ..sweep import run_sweep
 from ..traces.catalog import TABLE3_TYPES, get_instance_type
 from .common import (
@@ -98,14 +98,18 @@ class Fig6Result:
 def _strategy_decision(client: BiddingClient, strategy: str, base_ts: float):
     if strategy == "persistent-10s":
         job = JobSpec(base_ts, seconds(10))
-        return job, client.decide(job, strategy=Strategy.PERSISTENT)
-    if strategy == "persistent-30s":
+        request = DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+    elif strategy == "persistent-30s":
         job = JobSpec(base_ts, seconds(30))
-        return job, client.decide(job, strategy=Strategy.PERSISTENT)
-    if strategy == "percentile-90":
+        request = DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+    elif strategy == "percentile-90":
         job = JobSpec(base_ts, seconds(30))
-        return job, client.decide(job, strategy=Strategy.PERCENTILE, percentile=90.0)
-    raise ValueError(f"unknown strategy {strategy!r}")
+        request = DecisionRequest(
+            job=job, strategy=Strategy.PERCENTILE, percentile=90.0
+        )
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return job, client.respond(request).decision
 
 
 def run(config: ExperimentConfig = FULL_CONFIG) -> Fig6Result:
@@ -124,7 +128,9 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Fig6Result:
         history, _ = history_and_future(itype, config, 60)
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
         onetime_job = JobSpec(base_ts, slot_length=config.slot_length)
-        onetime = client.decide(onetime_job, strategy=Strategy.ONE_TIME)
+        onetime = client.respond(
+            DecisionRequest(job=onetime_job, strategy=Strategy.ONE_TIME)
+        ).decision
         # Bid decisions depend only on the history, not the repetition,
         # so they are computed once per instance type.
         plans = {s: _strategy_decision(client, s, base_ts) for s in STRATEGIES}

@@ -19,7 +19,7 @@ from typing import List
 from ..constants import seconds
 from ..core.client import BiddingClient
 from ..core.heuristics import retrospective_best_price
-from ..core.types import JobSpec, Strategy
+from ..core.types import DecisionRequest, JobSpec, Strategy
 from ..traces.catalog import TABLE3_TYPES, get_instance_type
 from .common import ExperimentConfig, FULL_CONFIG, format_table, history_and_future
 
@@ -81,13 +81,21 @@ def run(config: ExperimentConfig = FULL_CONFIG) -> Table3Result:
         itype = get_instance_type(name)
         history, future = history_and_future(itype, config, 30)
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
-        onetime = client.decide(JobSpec(execution_time), strategy=Strategy.ONE_TIME)
-        p10 = client.decide(
-            JobSpec(execution_time, seconds(10)), strategy=Strategy.PERSISTENT
-        )
-        p30 = client.decide(
-            JobSpec(execution_time, seconds(30)), strategy=Strategy.PERSISTENT
-        )
+        onetime = client.respond(
+            DecisionRequest(job=JobSpec(execution_time), strategy=Strategy.ONE_TIME)
+        ).decision
+        p10 = client.respond(
+            DecisionRequest(
+                job=JobSpec(execution_time, seconds(10)),
+                strategy=Strategy.PERSISTENT,
+            )
+        ).decision
+        p30 = client.respond(
+            DecisionRequest(
+                job=JobSpec(execution_time, seconds(30)),
+                strategy=Strategy.PERSISTENT,
+            )
+        ).decision
         # p̃ looks back over the most recent 10h of (sticky) prices — the
         # renewal future's first day stands in for "just before bidding".
         recent = future.slice_slots(0, int(round(10.0 / future.slot_length)))

@@ -18,7 +18,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..core.client import BiddingClient
-from ..core.types import JobSpec, MapReducePlan, Strategy, normalize_strategy
+from ..core.types import (
+    DecisionRequest,
+    JobSpec,
+    MapReducePlan,
+    Strategy,
+    normalize_strategy,
+)
 from ..errors import FaultError
 from ..sweep import run_sweep
 from ..traces.history import SpotPriceHistory
@@ -187,7 +193,9 @@ def run_chaos(
         )
 
     client = BiddingClient(history, ondemand_price=ondemand_price)
-    decision = client.decide(job, strategy=strategy, degrade=True)
+    decision = client.respond(
+        DecisionRequest(job=job, strategy=strategy, degrade=True)
+    ).decision
     exec_strategy = (
         Strategy.ONE_TIME if strategy is Strategy.ONE_TIME else Strategy.PERSISTENT
     )

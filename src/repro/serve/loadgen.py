@@ -1,0 +1,224 @@
+"""Deterministic load generation against the decision service.
+
+The generator builds a seeded request mix (a configurable fraction lands
+exactly on table grid points, the rest falls between them), opens a few
+pipelined TCP connections, and measures per-request latency with
+``time.perf_counter``.  The report carries p50/p99 latency, sustained
+QPS, an error count and a fixed-bucket latency histogram — the artifacts
+the CI smoke job and the serving benchmarks publish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import DecisionRequest, JobSpec, Strategy
+from ..errors import ServeError
+from .protocol import decode_line, encode_line, request_to_wire
+from .tables import TableGrid
+
+__all__ = ["LoadReport", "build_requests", "run_loadgen", "latency_histogram"]
+
+#: Histogram bucket edges, in milliseconds (log-ish coverage to 1 s).
+HISTOGRAM_EDGES_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0,
+)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = int(round((q / 100.0) * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    n_requests: int
+    errors: int
+    duration_s: float
+    latencies_ms: Tuple[float, ...]
+
+    @property
+    def qps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.n_requests / self.duration_s
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(sorted(self.latencies_ms), 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return _percentile(sorted(self.latencies_ms), 99.0)
+
+    def histogram(self) -> Dict[str, int]:
+        return latency_histogram(self.latencies_ms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "histogram_ms": self.histogram(),
+        }
+
+
+def latency_histogram(latencies_ms: Sequence[float]) -> Dict[str, int]:
+    """Fixed-bucket counts keyed by upper edge (``"le_<ms>"``)."""
+    edges = np.asarray(HISTOGRAM_EDGES_MS)
+    counts = np.zeros(edges.size + 1, dtype=int)
+    for value in latencies_ms:
+        counts[int(np.searchsorted(edges, value, side="left"))] += 1
+    histogram = {
+        f"le_{edge:g}": int(counts[idx]) for idx, edge in enumerate(edges)
+    }
+    histogram["inf"] = int(counts[-1])
+    return histogram
+
+
+def build_requests(
+    n_requests: int,
+    *,
+    grid: TableGrid,
+    slot_length: float,
+    rng: np.random.Generator,
+    on_grid_fraction: float = 0.5,
+    strategies: Tuple[Strategy, ...] = (Strategy.PERSISTENT, Strategy.ONE_TIME),
+) -> List[DecisionRequest]:
+    """A seeded request mix over (and between) the table's grid points.
+
+    ``on_grid_fraction`` of the requests reuse exact grid coordinates
+    (these must be answered bitwise-identically to the batch client);
+    the remainder samples uniformly inside the gridded ranges, exercising
+    the snapping path.
+    """
+    if n_requests < 1:
+        raise ServeError(f"n_requests must be >= 1, got {n_requests!r}")
+    if not 0.0 <= on_grid_fraction <= 1.0:
+        raise ServeError(
+            f"on_grid_fraction must be within [0, 1], got {on_grid_fraction!r}"
+        )
+    ts_axis = grid.execution_times
+    tr_axis = grid.recovery_times
+    requests: List[DecisionRequest] = []
+    for _ in range(n_requests):
+        strategy = strategies[int(rng.integers(len(strategies)))]
+        if rng.random() < on_grid_fraction:
+            ts = ts_axis[int(rng.integers(len(ts_axis)))]
+            tr = tr_axis[int(rng.integers(len(tr_axis)))]
+        else:
+            ts = float(rng.uniform(ts_axis[0], ts_axis[-1]))
+            tr = float(rng.uniform(tr_axis[0], tr_axis[-1]))
+        requests.append(
+            DecisionRequest(
+                job=JobSpec(
+                    execution_time=ts, recovery_time=tr, slot_length=slot_length
+                ),
+                strategy=strategy,
+                degrade=True,
+            )
+        )
+    return requests
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    requests: Sequence[DecisionRequest],
+    *,
+    pipeline: int,
+) -> Tuple[List[float], int]:
+    """Send one connection's share, ``pipeline`` requests in flight."""
+    reader, writer = await asyncio.open_connection(host, port)
+    latencies: List[float] = []
+    errors = 0
+    try:
+        sent_at: List[float] = []
+        next_to_send = 0
+        next_to_read = 0
+        while next_to_read < len(requests):
+            while (
+                next_to_send < len(requests)
+                and next_to_send - next_to_read < pipeline
+            ):
+                sent_at.append(time.perf_counter())
+                writer.write(encode_line(request_to_wire(requests[next_to_send])))
+                next_to_send += 1
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                errors += len(requests) - next_to_read
+                break
+            elapsed_ms = (time.perf_counter() - sent_at[next_to_read]) * 1e3
+            try:
+                payload = decode_line(line)
+            except ServeError:
+                payload = {"ok": False}
+            if payload.get("ok"):
+                latencies.append(elapsed_ms)
+            else:
+                errors += 1
+            next_to_read += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return latencies, errors
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    requests: Sequence[DecisionRequest],
+    *,
+    connections: int = 4,
+    pipeline: int = 32,
+) -> LoadReport:
+    """Fire ``requests`` at a running service and measure latency.
+
+    The request list is split round-robin over ``connections`` pipelined
+    TCP connections; the report aggregates every connection's latencies
+    and errors over the shared wall-clock window.
+    """
+    if connections < 1:
+        raise ServeError(f"connections must be >= 1, got {connections!r}")
+    if pipeline < 1:
+        raise ServeError(f"pipeline must be >= 1, got {pipeline!r}")
+    shares: List[List[DecisionRequest]] = [[] for _ in range(connections)]
+    for idx, request in enumerate(requests):
+        shares[idx % connections].append(request)
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(
+            _drive_connection(host, port, share, pipeline=pipeline)
+            for share in shares
+            if share
+        )
+    )
+    duration = time.perf_counter() - started
+    latencies: List[float] = []
+    errors = 0
+    for conn_latencies, conn_errors in results:
+        latencies.extend(conn_latencies)
+        errors += conn_errors
+    return LoadReport(
+        n_requests=len(requests),
+        errors=errors,
+        duration_s=duration,
+        latencies_ms=tuple(latencies),
+    )

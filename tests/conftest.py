@@ -65,3 +65,25 @@ def r3_future(rng):
 def hour_job():
     """The paper's canonical job: one hour, 30 s recovery."""
     return JobSpec(execution_time=1.0, recovery_time=seconds(30))
+
+
+@pytest.fixture
+def serve_history(rng):
+    """A small floor-plus-spikes trace the serving tests build tables from."""
+    from repro.traces.history import SpotPriceHistory
+
+    prices = np.full(600, 0.0315)
+    spikes = rng.integers(0, prices.size, size=60)
+    prices[spikes] = rng.uniform(0.05, 0.4, size=spikes.size)
+    return SpotPriceHistory(prices=prices, instance_type="r3.xlarge")
+
+
+@pytest.fixture
+def serve_grid():
+    """A deliberately tiny grid so table builds stay fast in tests."""
+    from repro.serve.tables import TableGrid
+
+    return TableGrid(
+        execution_times=(0.5, 1.0, 2.0, 4.0),
+        recovery_times=(0.0, seconds(30), seconds(120)),
+    )

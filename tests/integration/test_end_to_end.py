@@ -5,6 +5,7 @@ import math
 import numpy as np
 from repro import (
     BiddingClient,
+    DecisionRequest,
     JobSpec,
     MapReduceJobSpec,
     Strategy,
@@ -34,7 +35,9 @@ class TestSingleInstanceJourney:
         # 2. The client computes bids from the same history (Section 5).
         client = BiddingClient(history, ondemand_price=itype.on_demand_price)
         job = JobSpec(execution_time=1.0, recovery_time=seconds(30))
-        decision = client.decide(job, strategy=Strategy.PERSISTENT)
+        decision = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+        )
         assert decision.price < itype.on_demand_price / 2
 
         # 3. Execution on unseen sticky futures saves ~90% (Section 7.1).
@@ -117,8 +120,9 @@ class TestCliJourney:
         a = BiddingClient(history, ondemand_price=itype.on_demand_price)
         b = BiddingClient(again, ondemand_price=itype.on_demand_price)
         job = JobSpec(1.0, seconds(30))
+        request = DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
         assert math.isclose(
-            a.decide(job, strategy=Strategy.PERSISTENT).price,
-            b.decide(job, strategy=Strategy.PERSISTENT).price,
+            a.decide(request).price,
+            b.decide(request).price,
             rel_tol=1e-9,
         )

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.sweep",
     "repro.resilience",
+    "repro.serve",
 ]
 
 MODULES = [
@@ -31,6 +32,7 @@ MODULES = [
     "repro.core.mapreduce",
     "repro.core.heuristics",
     "repro.core.client",
+    "repro.core.distcache",
     "repro.core.adaptive",
     "repro.core.fleet",
     "repro.provider.arrivals",
@@ -65,6 +67,12 @@ MODULES = [
     "repro.resilience.faults",
     "repro.resilience.execution",
     "repro.resilience.chaos",
+    "repro.serve.tables",
+    "repro.serve.ingest",
+    "repro.serve.cache",
+    "repro.serve.protocol",
+    "repro.serve.service",
+    "repro.serve.loadgen",
     "repro.cli",
 ]
 
@@ -118,6 +126,15 @@ def test_root_exports_cover_the_sweep_layer():
         assert symbol in repro.__all__
         assert hasattr(repro, symbol)
     assert repro.run_sweep is repro.sweep.run_sweep
+
+
+def test_root_exports_cover_the_decision_api():
+    """Regression: the request/response decision API stays exported."""
+    import repro
+
+    for symbol in ("DecisionRequest", "DecisionResponse"):
+        assert symbol in repro.__all__
+        assert hasattr(repro, symbol)
 
 
 def test_version_is_set():

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.client import BiddingClient
-from repro.core.types import BidKind, JobSpec, Strategy
+from repro.core.types import (
+    BidKind,
+    DecisionRequest,
+    DecisionResponse,
+    JobSpec,
+    Strategy,
+)
 from repro.errors import MarketError
 from repro.traces.history import SpotPriceHistory
 
@@ -18,16 +24,35 @@ def client(r3_history):
 
 class TestDecide:
     def test_strategies_ranked_as_in_the_paper(self, client, hour_job):
-        onetime = client.decide(hour_job, strategy=Strategy.ONE_TIME)
-        persistent = client.decide(hour_job, strategy=Strategy.PERSISTENT)
-        pct = client.decide(hour_job, strategy=Strategy.PERCENTILE, percentile=90.0)
+        onetime = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.ONE_TIME)
+        )
+        persistent = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
+        pct = client.decide(
+            DecisionRequest(
+                job=hour_job, strategy=Strategy.PERCENTILE, percentile=90.0
+            )
+        )
         assert persistent.price < onetime.price
         assert persistent.expected_cost <= onetime.expected_cost + 1e-12
         assert pct.kind is BidKind.PERSISTENT
 
+    def test_decide_returns_a_response_envelope(self, client, hour_job):
+        response = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
+        assert isinstance(response, DecisionResponse)
+        assert response.request.job is hour_job
+        assert response.cache_tier == "compute"
+        assert response.degradation_reason is None
+        # The envelope passes decision metrics through unchanged.
+        assert response.price == response.decision.price
+
     def test_unknown_strategy(self, client, hour_job):
         with pytest.raises(ValueError):
-            client.decide(hour_job, strategy="yolo")
+            client.decide(DecisionRequest(job=hour_job, strategy="yolo"))
 
     def test_invalid_ondemand(self, r3_history):
         with pytest.raises(ValueError):
@@ -36,7 +61,9 @@ class TestDecide:
 
 class TestExecute:
     def test_completed_run_reports_consistent_metrics(self, client, hour_job, r3_future):
-        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        decision = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
         outcome = client.execute(decision, hour_job, r3_future)
         assert outcome.completed
         assert outcome.cost > 0
@@ -52,12 +79,18 @@ class TestExecute:
         future = SpotPriceHistory(prices=np.full(100, 0.03), slot_length=0.25)
         with pytest.raises(MarketError):
             client.execute(
-                client.decide(hour_job, strategy=Strategy.PERSISTENT), hour_job, future
+                client.decide(
+                    DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+                ),
+                hour_job,
+                future,
             )
 
     def test_onetime_failure_reported(self, client):
         job = JobSpec(execution_time=1.0)
-        decision = client.decide(job, strategy=Strategy.ONE_TIME)
+        decision = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.ONE_TIME)
+        )
         # A future where the price jumps above any sane bid mid-run.
         prices = np.concatenate([
             np.full(6, 0.0315), np.full(30, 0.34), np.full(100, 0.0315),
@@ -69,7 +102,9 @@ class TestExecute:
 
     def test_fallback_ondemand_adds_rerun_cost(self, client):
         job = JobSpec(execution_time=1.0)
-        decision = client.decide(job, strategy=Strategy.ONE_TIME)
+        decision = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.ONE_TIME)
+        )
         prices = np.concatenate([
             np.full(6, 0.0315), np.full(30, 0.34), np.full(100, 0.0315),
         ])
@@ -79,7 +114,9 @@ class TestExecute:
         assert math.isclose(padded.cost, plain.cost + 0.35 * 1.0)
 
     def test_start_slot_offsets_execution(self, client, hour_job, r3_future):
-        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        decision = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
         a = client.execute(decision, hour_job, r3_future, start_slot=0)
         b = client.execute(decision, hour_job, r3_future, start_slot=100)
         # Different price windows generally give different costs; at the
@@ -101,7 +138,9 @@ class TestBacktest:
         from repro.traces.generator import generate_equilibrium_history
 
         costs = []
-        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        decision = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
         for _ in range(25):
             future = generate_equilibrium_history("r3.xlarge", days=4, rng=rng)
             outcome = client.execute(decision, hour_job, future)
@@ -125,17 +164,23 @@ class TestDegradedDecision:
         from repro.errors import InfeasibleBidError
 
         with pytest.raises(InfeasibleBidError):
-            client.decide(self._infeasible_job(), strategy=Strategy.PERSISTENT)
+            client.decide(
+                DecisionRequest(
+                    job=self._infeasible_job(), strategy=Strategy.PERSISTENT
+                )
+            )
 
     def test_degrade_returns_marked_ondemand_fallback(self, client):
         from repro.core.types import DegradedDecision
 
         job = self._infeasible_job()
-        decision = client.decide(
-            job, strategy=Strategy.PERSISTENT, degrade=True
+        response = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.PERSISTENT, degrade=True)
         )
+        decision = response.decision
         assert isinstance(decision, DegradedDecision)
         assert decision.degraded is True
+        assert response.degradation_reason == decision.reason
         assert decision.price == 0.35
         assert math.isclose(
             decision.expected_cost, client.ondemand_cost(job)
@@ -144,13 +189,38 @@ class TestDegradedDecision:
         assert decision.reason  # carries the optimizer's complaint
 
     def test_feasible_decisions_are_not_degraded(self, client, hour_job):
-        decision = client.decide(hour_job, strategy=Strategy.PERSISTENT)
-        assert decision.degraded is False
+        response = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
+        assert response.degraded is False
 
     def test_degraded_decision_is_executable(self, client, r3_future):
         job = self._infeasible_job()
-        decision = client.decide(
-            job, strategy=Strategy.PERSISTENT, degrade=True
+        response = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.PERSISTENT, degrade=True)
         )
-        outcome = client.execute(decision, job, r3_future)
+        outcome = client.execute(response, job, r3_future)
         assert outcome.completed
+
+
+class TestLegacyKwargsShim:
+    """The pre-request ``decide(job, strategy=...)`` form still works."""
+
+    def test_kwargs_form_warns_and_returns_a_bare_decision(self, client, hour_job):
+        with pytest.warns(DeprecationWarning, match="passing a JobSpec"):
+            legacy = client.decide(hour_job, strategy=Strategy.PERSISTENT)
+        modern = client.decide(
+            DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        )
+        # Same numbers, different envelope: the shim unwraps the response.
+        assert legacy == modern.decision
+
+    def test_kwargs_form_defaults_to_persistent(self, client, hour_job):
+        with pytest.warns(DeprecationWarning, match="passing a JobSpec"):
+            legacy = client.decide(hour_job)
+        assert legacy.kind is BidKind.PERSISTENT
+
+    def test_mixing_request_and_kwargs_is_rejected(self, client, hour_job):
+        request = DecisionRequest(job=hour_job, strategy=Strategy.PERSISTENT)
+        with pytest.raises(TypeError):
+            client.decide(request, strategy=Strategy.ONE_TIME)

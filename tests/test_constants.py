@@ -94,6 +94,10 @@ class TestEnvVarRegistry:
         assert set(ENV_VARS) == {
             "REPRO_SWEEP_KERNEL",
             "REPRO_DIST_CACHE_SIZE",
+            "REPRO_SERVE_PORT",
+            "REPRO_SERVE_TABLE_GRID",
+            "REPRO_SERVE_CACHE_SIZE",
+            "REPRO_SERVE_STALE_SLOTS",
         }
         assert env_var("REPRO_SWEEP_KERNEL") is ENV_VARS["REPRO_SWEEP_KERNEL"]
         with pytest.raises(EnvVarError, match="not a registered"):
@@ -105,3 +109,39 @@ class TestEnvVarRegistry:
         for var in ENV_VARS.values():
             assert var.description
             assert var.name.startswith("REPRO_")
+
+    def test_serve_vars_parse_and_validate(self, monkeypatch):
+        from repro.constants import (
+            SERVE_CACHE_SIZE,
+            SERVE_PORT,
+            SERVE_STALE_SLOTS,
+            SERVE_TABLE_GRID,
+            SLOTS_PER_DAY,
+            EnvVarError,
+        )
+
+        for name in (
+            "REPRO_SERVE_PORT",
+            "REPRO_SERVE_TABLE_GRID",
+            "REPRO_SERVE_CACHE_SIZE",
+            "REPRO_SERVE_STALE_SLOTS",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert SERVE_PORT.get() == 7787
+        assert SERVE_TABLE_GRID.get() == (32, 8)
+        assert SERVE_CACHE_SIZE.get() == 4096
+        assert SERVE_STALE_SLOTS.get() == SLOTS_PER_DAY
+
+        monkeypatch.setenv("REPRO_SERVE_TABLE_GRID", "16x4")
+        assert SERVE_TABLE_GRID.get() == (16, 4)
+        for raw in ("16", "1x4", "16x0", "axb"):
+            monkeypatch.setenv("REPRO_SERVE_TABLE_GRID", raw)
+            with pytest.raises(EnvVarError, match="REPRO_SERVE_TABLE_GRID"):
+                SERVE_TABLE_GRID.get()
+        for raw in ("-1", "65536", "port"):
+            monkeypatch.setenv("REPRO_SERVE_PORT", raw)
+            with pytest.raises(EnvVarError, match="REPRO_SERVE_PORT"):
+                SERVE_PORT.get()
+        monkeypatch.setenv("REPRO_SERVE_STALE_SLOTS", "0")
+        with pytest.raises(EnvVarError, match="REPRO_SERVE_STALE_SLOTS"):
+            SERVE_STALE_SLOTS.get()

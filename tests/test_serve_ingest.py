@@ -1,0 +1,179 @@
+"""Price ingest: rolling windows, rebuild cadence, fault latching."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.types import DecisionRequest, JobSpec, Strategy
+from repro.errors import FaultError, MarketError, ServeError
+from repro.market.price_sources import PriceSource, TracePriceSource
+from repro.serve.ingest import IngestLoop, MarketState
+from repro.traces.history import SpotPriceHistory
+
+ONDEMAND = 0.35
+
+
+class ExplodingSource(PriceSource):
+    """Yields ``n_good`` prices, then raises the given error forever."""
+
+    def __init__(self, n_good: int, error: Exception):
+        self._n_good = n_good
+        self._error = error
+        self._served = 0
+
+    def next_price(self) -> float:
+        if self._served >= self._n_good:
+            raise self._error
+        self._served += 1
+        return 0.04
+
+
+def make_state(serve_history, serve_grid, source=None, **kwargs):
+    if source is None:
+        source = TracePriceSource(serve_history)
+    kwargs.setdefault("window_slots", serve_history.n_slots)
+    return MarketState(
+        source,
+        initial_history=serve_history,
+        ondemand_price=ONDEMAND,
+        grid=serve_grid,
+        **kwargs,
+    )
+
+
+class TestMarketState:
+    def test_observe_respects_the_rolling_window(
+        self, serve_history, serve_grid
+    ):
+        state = make_state(
+            serve_history, serve_grid, window_slots=serve_history.n_slots
+        )
+        for _ in range(10):
+            state.observe(0.99)
+        window = state.history()
+        assert window.n_slots == serve_history.n_slots
+        assert window.prices[-1] == 0.99
+        assert state.slots_ingested == 10
+
+    def test_advance_pulls_from_the_source(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid)
+        assert state.advance(5) == 5
+        assert state.slots_ingested == 5
+        # The replayed slots are now the newest entries in the window.
+        np.testing.assert_array_equal(
+            state.history().prices[-5:], serve_history.prices[:5]
+        )
+
+    @pytest.mark.parametrize(
+        "error", [MarketError("trace exhausted"), FaultError("injected")]
+    )
+    def test_source_errors_latch_the_fault_instead_of_raising(
+        self, serve_history, serve_grid, error
+    ):
+        state = make_state(
+            serve_history, serve_grid, source=ExplodingSource(3, error)
+        )
+        assert state.advance(10) == 3  # stops at the fault, no raise
+        assert state.faulted
+        assert str(error) in state.fault_reason
+        state.clear_fault()
+        assert not state.faulted and state.fault_reason is None
+
+    def test_rebuild_due_follows_the_cadence(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid, rebuild_every=4)
+        assert not state.rebuild_due()
+        state.advance(3)
+        assert not state.rebuild_due()
+        state.advance(1)
+        assert state.rebuild_due()
+        state.rebuild()
+        assert not state.rebuild_due()
+
+    def test_rebuild_bumps_generation_and_version(
+        self, serve_history, serve_grid
+    ):
+        state = make_state(serve_history, serve_grid)
+        before = state.tables
+        state.advance(6)
+        after = state.rebuild()
+        assert state.tables is after
+        assert after.generation == before.generation + 1
+        assert after.version != before.version
+        assert after.built_at_slot == 6
+
+    def test_build_snapshot_does_not_publish(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid)
+        before = state.tables
+        snapshot = state.build_snapshot()
+        assert state.tables is before  # readers still see the old generation
+        state.publish(snapshot)
+        assert state.tables is snapshot
+
+    def test_new_generation_answers_from_the_new_window(
+        self, serve_history, serve_grid
+    ):
+        """The rebuilt tables reflect the shifted distribution."""
+        state = make_state(
+            serve_history,
+            serve_grid,
+            source=ExplodingSource(10**9, MarketError("n/a")),
+            window_slots=200,
+        )
+        request = DecisionRequest(
+            job=JobSpec(
+                execution_time=serve_grid.execution_times[1],
+                slot_length=serve_history.slot_length,
+            ),
+            strategy=Strategy.PERSISTENT,
+            degrade=True,
+        )
+        before = state.tables.decide(request)
+        state.advance(200)  # window now holds only the 0.04 regime
+        after = state.rebuild().decide(request)
+        assert after.table_version != before.table_version
+
+    def test_constructor_guards(self, serve_history, serve_grid):
+        with pytest.raises(ServeError):
+            make_state(serve_history, serve_grid, window_slots=1)
+        with pytest.raises(ServeError):
+            make_state(serve_history, serve_grid, rebuild_every=0)
+
+
+class TestIngestLoop:
+    def test_step_rebuilds_on_cadence(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid, rebuild_every=3)
+        loop = IngestLoop(state)
+
+        async def drive():
+            for _ in range(7):
+                await loop.step()
+
+        asyncio.run(drive())
+        assert state.slots_ingested == 7
+        assert loop.rebuilds == 2  # after slots 3 and 6
+        assert state.tables.generation == 2
+
+    def test_run_stops_on_fault(self, serve_history, serve_grid):
+        state = make_state(
+            serve_history,
+            serve_grid,
+            source=ExplodingSource(4, MarketError("done")),
+            rebuild_every=100,
+        )
+        loop = IngestLoop(state)
+        asyncio.run(loop.run(max_slots=50))
+        assert state.slots_ingested == 4
+        assert state.faulted
+
+    def test_run_honors_max_slots(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid, rebuild_every=100)
+        loop = IngestLoop(state)
+        asyncio.run(loop.run(max_slots=5))
+        assert state.slots_ingested == 5
+        assert not state.faulted
+
+    def test_negative_interval_rejected(self, serve_history, serve_grid):
+        state = make_state(serve_history, serve_grid)
+        with pytest.raises(ServeError):
+            IngestLoop(state, interval=-1.0)

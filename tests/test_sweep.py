@@ -255,7 +255,11 @@ class TestStrategyShim:
         )
         client = BiddingClient(history, ondemand_price=0.35)
         job = JobSpec(1.0, 0.1 * TK, slot_length=TK)
-        enum_decision = client.decide(job, strategy=Strategy.PERSISTENT)
+        from repro.core.types import DecisionRequest
+
+        enum_decision = client.decide(
+            DecisionRequest(job=job, strategy=Strategy.PERSISTENT)
+        )
         with pytest.warns(DeprecationWarning):
             legacy_decision = client.decide(job, strategy="persistent")
         assert enum_decision.price == legacy_decision.price
