@@ -12,6 +12,7 @@ from .cases import (
     BenchCase,
     CASES,
     MapReduceBenchCase,
+    SchedulerBenchCase,
     ServeBenchCase,
     case_names,
     quick_case_names,
@@ -25,6 +26,7 @@ __all__ = [
     "CASES",
     "MapReduceBenchCase",
     "Regression",
+    "SchedulerBenchCase",
     "ServeBenchCase",
     "case_names",
     "compare_reports",

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = [
     "BenchCase",
     "MapReduceBenchCase",
+    "SchedulerBenchCase",
     "ServeBenchCase",
     "CASES",
     "case_names",
@@ -278,7 +279,78 @@ class ServeBenchCase:
         return history, grid, requests
 
 
-AnyBenchCase = Union[BenchCase, MapReduceBenchCase, ServeBenchCase]
+@dataclass(frozen=True)
+class SchedulerBenchCase:
+    """One reproducible work-stealing scheduler workload under a pinned
+    straggler (:mod:`repro.scheduler`).
+
+    Worker slot 0 stalls for ``stall_seconds`` on its first shard (a
+    seeded :class:`~repro.resilience.faults.WorkerFaults` plan scoped to
+    that slot); the other workers stay healthy.  The *reference* timing
+    runs with speculation disabled — the batch waits the stall out — and
+    the *event* timing is the same chaos with straggler re-dispatch on,
+    so the gated speedup is the speculation machinery itself.  Both runs
+    must return bitwise-identical shard results.
+    """
+
+    name: str
+    n_shards: int
+    max_workers: int
+    #: Elements of seeded RNG work each shard reduces.
+    shard_size: int
+    stall_seconds: float
+    straggler_factor: float
+    straggler_min_seconds: float
+    seed: int
+    quick: bool = False
+
+    # Aliases so scheduler rows report through the same schema fields
+    # (traces × slots × bids) as the sweep cases: one "trace" per shard,
+    # the shard's work volume as its slot count, one lane per shard.
+    @property
+    def n_traces(self) -> int:
+        return self.n_shards
+
+    @property
+    def n_slots(self) -> int:
+        return self.shard_size
+
+    @property
+    def n_bids(self) -> int:
+        return 1
+
+    @property
+    def lane_slots(self) -> int:
+        """Work volume: shard reductions executed."""
+        return self.n_shards * self.shard_size
+
+    @property
+    def label(self) -> str:
+        return "scheduler"
+
+    def build(self) -> Tuple[List[Tuple[int, int, int]]]:
+        """Materialize the shard payloads (a 1-tuple, like all cases)."""
+        return ([(self.seed, i, self.shard_size) for i in range(self.n_shards)],)
+
+    def faults(self) -> object:
+        """The pinned-straggler fault schedule both timed runs share."""
+        from ..resilience.faults import WorkerFaults
+
+        return WorkerFaults(
+            kill_rate=0.0,
+            stall_rate=1.0,
+            stall_seconds=self.stall_seconds,
+            slow_start_rate=0.0,
+            seed=self.seed,
+            first_shards=1,
+            max_chaos_epochs=1,
+            only_workers=(0,),
+        )
+
+
+AnyBenchCase = Union[
+    BenchCase, MapReduceBenchCase, SchedulerBenchCase, ServeBenchCase
+]
 
 CASES: List[AnyBenchCase] = [
     BenchCase(
@@ -388,6 +460,18 @@ CASES: List[AnyBenchCase] = [
         ondemand_price=1.5,
         slot_length=1.0 / 12.0,
         seed=20150825,
+    ),
+    # The straggler-re-dispatch acceptance workload: a pinned stalled
+    # worker, gated on how much speculation recovers of the stall.
+    SchedulerBenchCase(
+        name="sched_straggler",
+        n_shards=8,
+        max_workers=2,
+        shard_size=20000,
+        stall_seconds=0.75,
+        straggler_factor=2.0,
+        straggler_min_seconds=0.15,
+        seed=20150826,
     ),
 ]
 

@@ -39,7 +39,13 @@ from ..sweep.kernels import (
     persistent_sweep_kernel,
     persistent_sweep_kernel_reference,
 )
-from .cases import BenchCase, MapReduceBenchCase, ServeBenchCase, select_cases
+from .cases import (
+    BenchCase,
+    MapReduceBenchCase,
+    SchedulerBenchCase,
+    ServeBenchCase,
+    select_cases,
+)
 
 __all__ = ["SCHEMA", "run_benchmarks"]
 
@@ -156,6 +162,38 @@ def _grids_bitwise_equal(
 ) -> bool:
     ad, bd = a.to_dict(), b.to_dict()
     return all(np.array_equal(ad[k], bd[k], equal_nan=True) for k in ad)
+
+
+def _sched_shard(payload: Tuple[int, int, int]) -> float:
+    """Seeded reduction each scheduler-bench shard computes.
+
+    Pure function of the payload, so where (and how often) a shard runs
+    cannot change its bits — the property the bitwise gate checks.
+    """
+    seed, index, size = payload
+    rng = np.random.default_rng([seed, index])
+    return float(np.sort(rng.random(size)).sum())
+
+
+def _scheduler_callable(
+    case: SchedulerBenchCase, speculate: bool
+) -> Callable[..., object]:
+    from ..scheduler import run_shards
+
+    faults = case.faults()
+
+    def run(payloads: Any) -> object:
+        return run_shards(
+            _sched_shard,
+            payloads,
+            max_workers=case.max_workers,
+            speculate=speculate,
+            straggler_factor=case.straggler_factor,
+            straggler_min_seconds=case.straggler_min_seconds,
+            worker_faults=faults,
+        )
+
+    return run
 
 
 def _serve_reference_callable(
@@ -306,6 +344,17 @@ def run_benchmarks(
             )
             equal = _grids_bitwise_equal(ref_result, event_result)
             events = event_result.slots_simulated
+        elif isinstance(case, SchedulerBenchCase):
+            # Reference = wait the pinned straggler out; event = the
+            # same fault schedule with speculative re-dispatch on.
+            ref_wall, ref_result = _time_kernel(
+                _scheduler_callable(case, speculate=False), inputs, repeats
+            )
+            event_wall, event_result = _time_kernel(
+                _scheduler_callable(case, speculate=True), inputs, repeats
+            )
+            equal = ref_result.results == event_result.results
+            events = event_result.stats.dispatched
         elif isinstance(case, ServeBenchCase):
             history, grid, requests = inputs
             ref_wall, ref_result = _time_kernel(

@@ -15,7 +15,9 @@ Subcommands
 ``options``    Compare on-demand / one-time / persistent / spot-block.
 ``mapreduce``  Plan a master/slave cluster bid (eq. 20).
 ``chaos``      Stress a bid under injected market faults and report
-               per-fault-class cost/completion degradation.
+               per-fault-class cost/completion degradation; with
+               ``--kill-workers``, crash/stall the scheduler's worker
+               pool instead and check results stay bitwise identical.
 ``bench``      Benchmark the sweep kernels (event vs reference), emit a
                ``BENCH_*.json`` trajectory point, and gate regressions
                against a committed baseline.
@@ -282,6 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--slaves", type=_positive_int, default=6,
         help="slave count M for --mapreduce (default 6)",
+    )
+    p_chaos.add_argument(
+        "--kill-workers", action="store_true",
+        help="process-level chaos instead of market faults: run the "
+        "sweep on the work-stealing pool while seeded faults kill, "
+        "stall, and slow-start workers, then check the results are "
+        "bitwise identical to the fault-free run",
+    )
+    p_chaos.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="pool size for --kill-workers (default 2)",
     )
 
     p_bench = sub.add_parser(
@@ -677,6 +690,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     if args.slave_trace is not None and not args.mapreduce:
         raise ReproError("--slave-trace requires --mapreduce")
+    if args.kill_workers and args.mapreduce:
+        raise ReproError("--kill-workers and --mapreduce are exclusive")
     split_slot = max(1, min(trace.n_slots - 1, int(trace.n_slots * args.split)))
     history = trace.slice_slots(0, split_slot)
     future = trace.slice_slots(split_slot, trace.n_slots)
@@ -687,6 +702,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         recovery_time=seconds(args.recovery_seconds),
         slot_length=trace.slot_length,
     )
+    if args.kill_workers:
+        return _chaos_workers(args, history, future, job, ondemand)
     report = run_chaos(
         history,
         future,
@@ -705,6 +722,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.table())
     return 0
+
+
+def _chaos_workers(args, history, future, job, ondemand):
+    from .resilience import run_worker_chaos
+
+    report = run_worker_chaos(
+        history,
+        future,
+        job,
+        ondemand_price=ondemand,
+        strategy=Strategy(args.strategy),
+        seed=args.seed,
+        n_starts=args.starts,
+        max_workers=args.workers,
+    )
+    print(report.table())
+    return 0 if report.bitwise_identical else 1
 
 
 def _chaos_mapreduce(args, master_trace, master_history, master_future, ondemand):

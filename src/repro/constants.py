@@ -235,6 +235,65 @@ SERVE_STALE_SLOTS: "EnvVar[int]" = EnvVar(
     values=f"positive integer (default {SLOTS_PER_DAY}, one day of slots)",
 )
 
+def _parse_positive_float(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvVarError(
+            f"{name} must be a positive number, got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise EnvVarError(f"{name} must be a positive number, got {raw!r}")
+    return value
+
+
+#: Straggler deadline multiplier of the work-stealing scheduler
+#: (:mod:`repro.scheduler`): a running shard older than ``factor`` times
+#: the median completed-shard duration gets a speculative second copy.
+SCHED_STRAGGLER_FACTOR: "EnvVar[float]" = EnvVar(
+    name="REPRO_SCHED_STRAGGLER_FACTOR",
+    default=3.0,
+    parse=lambda raw: _parse_positive_float("REPRO_SCHED_STRAGGLER_FACTOR", raw),
+    description="Multiple of the median completed-shard duration after "
+    "which the scheduler speculatively re-dispatches a running shard.",
+    values="positive number (default 3.0)",
+)
+
+#: Floor of the straggler deadline in seconds, so tiny shards do not
+#: trigger speculation on scheduler noise alone.
+SCHED_STRAGGLER_MIN_SECONDS: "EnvVar[float]" = EnvVar(
+    name="REPRO_SCHED_STRAGGLER_MIN_SECONDS",
+    default=1.0,
+    parse=lambda raw: _parse_positive_float(
+        "REPRO_SCHED_STRAGGLER_MIN_SECONDS", raw
+    ),
+    description="Lower bound on the scheduler's straggler deadline; no "
+    "shard is speculatively re-dispatched before this many seconds.",
+    values="positive number of seconds (default 1.0)",
+)
+
+#: Interval between scheduler-worker heartbeats, in seconds.
+SCHED_HEARTBEAT_SECONDS: "EnvVar[float]" = EnvVar(
+    name="REPRO_SCHED_HEARTBEAT_SECONDS",
+    default=0.5,
+    parse=lambda raw: _parse_positive_float(
+        "REPRO_SCHED_HEARTBEAT_SECONDS", raw
+    ),
+    description="Seconds between heartbeat messages from scheduler "
+    "workers to the coordinator.",
+    values="positive number of seconds (default 0.5)",
+)
+
+#: Distinct-worker failures after which a shard is quarantined as poison.
+SCHED_MAX_SHARD_FAILURES: "EnvVar[int]" = EnvVar(
+    name="REPRO_SCHED_MAX_SHARD_FAILURES",
+    default=3,
+    parse=lambda raw: _parse_positive_int("REPRO_SCHED_MAX_SHARD_FAILURES", raw),
+    description="Number of distinct-worker failures after which the "
+    "scheduler quarantines a shard as poison instead of re-queuing it.",
+    values="positive integer (default 3)",
+)
+
 #: Every environment variable the package reads, keyed by name.  New
 #: ``REPRO_*`` switches must be added here (rule ``RB301``) and to the
 #: table in ``docs/development.md``.
@@ -247,6 +306,10 @@ ENV_VARS: Mapping[str, "EnvVar[object]"] = {
         SERVE_TABLE_GRID,
         SERVE_CACHE_SIZE,
         SERVE_STALE_SLOTS,
+        SCHED_STRAGGLER_FACTOR,
+        SCHED_STRAGGLER_MIN_SECONDS,
+        SCHED_HEARTBEAT_SECONDS,
+        SCHED_MAX_SHARD_FAILURES,
     )
 }
 

@@ -22,8 +22,18 @@ lane arrays.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -37,6 +47,10 @@ from .kernels import (
     mapreduce_grid_kernel_event,
 )
 from .runner import MapReduceRunResult, TerminationReason, run_plan_on_traces
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.execution import SweepJournal
+    from ..resilience.faults import WorkerFaults
 
 __all__ = ["MapReduceGridResult", "run_plan_grid"]
 
@@ -213,6 +227,8 @@ def run_plan_grid(
     kernel: Optional[str] = None,
     max_workers: Optional[int] = None,
     executor: Optional[str] = None,
+    journal: "Union[None, str, os.PathLike, SweepJournal]" = None,
+    worker_faults: "Optional[WorkerFaults]" = None,
 ) -> MapReduceGridResult:
     """Evaluate every (plan, run) pair of a MapReduce grid in one batch.
 
@@ -224,8 +240,15 @@ def run_plan_grid(
 
     ``kernel`` picks "scalar" (the oracle), "dense" or "event";
     ``None`` follows ``REPRO_SWEEP_KERNEL``.  With ``executor="process"``
-    and a batched kernel, lanes fan out over a process pool and the two
-    price stacks travel zero-copy via shared memory.
+    and a batched kernel, lane chunks fan out through the work-stealing
+    scheduler (:func:`repro.scheduler.run_shards`) — dynamic dispatch,
+    straggler speculation, crash respawn — and the two price stacks
+    travel zero-copy via shared memory.  ``journal`` (a path or
+    :class:`~repro.resilience.execution.SweepJournal`) makes the fan-out
+    crash-consistent: finished chunks are fsync'd to disk and a re-run
+    with the same grid resumes, recomputing only unfinished chunks.
+    ``worker_faults`` injects seeded process-level chaos into the pool
+    (results stay bitwise identical to the fault-free run).
     """
     plan_list: List[MapReducePlan] = (
         [plans] if isinstance(plans, MapReducePlan) else list(plans)
@@ -305,11 +328,19 @@ def run_plan_grid(
 
     # Process fan-out is explicit opt-in: the caller asked for it, so
     # honour it even on small grids (tests exercise tiny fan-outs).
-    fan_out = executor == "process" and max_workers is not None and max_workers > 1
+    fan_out = executor == "process" and (
+        (max_workers is not None and max_workers > 1)
+        or worker_faults is not None
+        or journal is not None
+    )
+    if worker_faults is not None and executor != "process":
+        raise PlanError("worker_faults requires executor='process'")
     if fan_out:
         raw = _run_fanout(
             m_matrix, m_valid, s_matrix, s_valid, lanes,
-            slot_length, max_master_restarts, chosen, max_workers,
+            slot_length, max_master_restarts, chosen,
+            max_workers if max_workers is not None else 1,
+            journal, worker_faults,
         )
     else:
         raw = _BATCH_KERNELS[chosen](
@@ -401,16 +432,29 @@ def _run_fanout(
     max_master_restarts: int,
     kernel: str,
     max_workers: int,
+    journal: "Union[None, str, os.PathLike, SweepJournal]" = None,
+    worker_faults: "Optional[WorkerFaults]" = None,
 ) -> Dict[str, Any]:
-    """Chunk lanes over a process pool; stacks travel via shared memory."""
-    from ..sweep import map_traces
+    """Chunk lanes over the scheduler pool; stacks travel via shm."""
+    from ..scheduler import run_shards
+    from ..sweep.engine import (
+        _deserialize_kernel_result,
+        _serialize_kernel_result,
+    )
     from ..sweep.shm import SharedPriceStack
 
     n_lanes = lanes["lane_mrow"].size
-    # ~2 chunks per worker balances stragglers against per-call kernel
-    # overhead; big chunks keep the vectorized inner loops wide.
-    n_chunks = min(n_lanes, max(2, 2 * max_workers))
+    # More chunks than workers gives the work-stealing scheduler slack:
+    # a straggling worker holds back one small chunk, not a statically
+    # assigned slice; chunks stay big enough to keep the vectorized
+    # inner loops wide.
+    n_chunks = min(n_lanes, max(2, 4 * max_workers))
     bounds = np.linspace(0, n_lanes, n_chunks + 1).astype(np.int64)
+    spans = [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
     with SharedPriceStack(m_matrix, m_valid) as m_stack, SharedPriceStack(
         s_matrix, s_valid
     ) as s_stack:
@@ -423,13 +467,25 @@ def _run_fanout(
                 max_master_restarts,
                 kernel,
             )
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
+            for lo, hi in spans
         ]
-        chunks = map_traces(
+        sched = run_shards(
             _grid_worker,
             payloads,
             max_workers=max_workers,
-            executor="process",
+            keys=[f"lanes:{lo}:{hi}" for lo, hi in spans],
+            labels=[f"lanes [{lo}, {hi})" for lo, hi in spans],
+            journal=journal,
+            signature={
+                "kind": "mapreduce.grid",
+                "kernel": kernel,
+                "n_lanes": int(n_lanes),
+                "n_chunks": len(spans),
+                "slot_length": slot_length,
+                "max_master_restarts": max_master_restarts,
+            },
+            serialize=_serialize_kernel_result,
+            deserialize=_deserialize_kernel_result,
+            worker_faults=worker_faults,
         )
-    return _merge_chunks(chunks)
+    return _merge_chunks(sched.results)

@@ -16,7 +16,9 @@ uninterrupted backtest loop.  This package drops both assumptions:
   recomputing finished items.
 * :mod:`repro.resilience.chaos` — the ``repro-bid chaos`` harness:
   backtest one bid under every fault class and report cost/completion
-  degradation relative to the clean run.
+  degradation relative to the clean run, and (``--kill-workers``) run a
+  sweep on the work-stealing pool under seeded process-level faults to
+  prove the results stay bitwise identical.
 """
 
 from .chaos import (
@@ -24,14 +26,17 @@ from .chaos import (
     FaultClassResult,
     MapReduceChaosReport,
     MapReduceFaultClassResult,
+    WorkerChaosReport,
     default_fault_suite,
     run_chaos,
     run_mapreduce_chaos,
+    run_worker_chaos,
 )
 from .execution import (
     BackoffPolicy,
     ExecutionResult,
     ItemFailure,
+    JournalWarning,
     SweepJournal,
     run_items,
 )
@@ -45,6 +50,8 @@ from .faults import (
     SlotDropout,
     SlotDuplication,
     TraceTruncation,
+    WorkerFaultPlan,
+    WorkerFaults,
 )
 
 __all__ = [
@@ -56,6 +63,7 @@ __all__ = [
     "FaultSpec",
     "FaultyPriceSource",
     "ItemFailure",
+    "JournalWarning",
     "MapReduceChaosReport",
     "MapReduceFaultClassResult",
     "PricePlateau",
@@ -65,8 +73,12 @@ __all__ = [
     "SlotDuplication",
     "SweepJournal",
     "TraceTruncation",
+    "WorkerChaosReport",
+    "WorkerFaultPlan",
+    "WorkerFaults",
     "default_fault_suite",
     "run_chaos",
     "run_items",
     "run_mapreduce_chaos",
+    "run_worker_chaos",
 ]

@@ -14,8 +14,11 @@ gate built on top) rely on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.client import BiddingClient
 from ..core.types import (
@@ -37,16 +40,22 @@ from .faults import (
     SlotDropout,
     SlotDuplication,
     TraceTruncation,
+    WorkerFaults,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..scheduler.types import SchedulerStats
 
 __all__ = [
     "FaultClassResult",
     "ChaosReport",
     "MapReduceFaultClassResult",
     "MapReduceChaosReport",
+    "WorkerChaosReport",
     "default_fault_suite",
     "run_chaos",
     "run_mapreduce_chaos",
+    "run_worker_chaos",
 ]
 
 #: Canonical fault-class order for suites and reports.
@@ -430,4 +439,168 @@ def run_mapreduce_chaos(
         n_starts=n_starts,
         seed=seed,
         results=tuple(results),
+    )
+
+
+#: Report arrays compared bitwise between the healthy and chaotic runs.
+#: Counters are deliberately excluded — cache hit/miss totals depend on
+#: how shards landed on workers, which chaos perturbs by design.
+_PARITY_FIELDS = (
+    "completed",
+    "cost",
+    "completion_time",
+    "running_time",
+    "idle_time",
+    "recovery_time_used",
+    "interruptions",
+)
+
+
+@dataclass(frozen=True)
+class WorkerChaosReport:
+    """Outcome of one :func:`run_worker_chaos` comparison.
+
+    The interesting bit is :attr:`bitwise_identical`: the scheduler's
+    contract is that crashes, stalls, and speculative re-dispatch may
+    change *when* shards run but never *what* they compute.
+    """
+
+    strategy: Strategy
+    bid_price: float
+    n_starts: int
+    max_workers: int
+    seed: int
+    faults: WorkerFaults
+    #: True when every report array matched the fault-free run exactly.
+    bitwise_identical: bool
+    #: Report fields (if any) that diverged from the fault-free run.
+    mismatched_fields: Tuple[str, ...]
+    healthy_seconds: float
+    chaos_seconds: float
+    #: Pool accounting from the chaotic run: crashes, respawns,
+    #: speculations, dropped duplicates, quarantines.
+    scheduler: "SchedulerStats"
+
+    def table(self) -> str:
+        s = self.scheduler
+        verdict = (
+            "IDENTICAL"
+            if self.bitwise_identical
+            else "DIVERGED: " + ", ".join(self.mismatched_fields)
+        )
+        return "\n".join(
+            [
+                f"worker chaos (seed {self.seed}): bid "
+                f"${self.bid_price:.4f}/h ({self.strategy}), "
+                f"{self.n_starts} starts on {self.max_workers} workers",
+                f"faults: kill {self.faults.kill_rate:.0%}  "
+                f"stall {self.faults.stall_rate:.0%} "
+                f"@{self.faults.stall_seconds:.2f}s  "
+                f"slow-start {self.faults.slow_start_rate:.0%}",
+                f"healthy serial run {self.healthy_seconds:.2f}s; "
+                f"chaotic pool run {self.chaos_seconds:.2f}s",
+                f"pool: {s.dispatched} dispatches  {s.worker_crashes} "
+                f"crashes  {s.workers_respawned} respawns  "
+                f"{s.speculated} speculated  {s.duplicates_dropped} "
+                f"dup-dropped  {s.quarantined} quarantined",
+                f"results vs fault-free run: {verdict}",
+            ]
+        )
+
+
+def run_worker_chaos(
+    history: SpotPriceHistory,
+    future: SpotPriceHistory,
+    job: JobSpec,
+    *,
+    ondemand_price: float,
+    strategy: Union[Strategy, str] = Strategy.PERSISTENT,
+    seed: int = 0,
+    n_starts: int = 8,
+    max_workers: int = 2,
+    kill_rate: float = 0.6,
+    stall_rate: float = 0.3,
+    stall_seconds: float = 1.5,
+    slow_start_rate: float = 0.25,
+) -> WorkerChaosReport:
+    """Prove the scheduler's recovery guarantees on a real sweep.
+
+    Computes one bid decision from ``history`` (as :func:`run_chaos`
+    does), then evaluates it from ``n_starts`` start slots on ``future``
+    twice: once serially with no faults, and once on the process pool
+    with :class:`WorkerFaults(seed=seed)` killing, stalling, and
+    slow-starting workers.  The two reports must match bitwise — the
+    whole point of the work-stealing scheduler is that the failure
+    schedule is invisible in the results.  Chaos turns benign after the
+    fault plan's epoch cap, so the run terminates even at 100% rates.
+    """
+    strategy = normalize_strategy(strategy)
+    if n_starts < 1:
+        raise FaultError(f"n_starts must be >= 1, got {n_starts!r}")
+    if max_workers < 1:
+        raise FaultError(f"max_workers must be >= 1, got {max_workers!r}")
+
+    client = BiddingClient(history, ondemand_price=ondemand_price)
+    decision = client.respond(
+        DecisionRequest(job=job, strategy=strategy, degrade=True)
+    ).decision
+    exec_strategy = (
+        Strategy.ONE_TIME if strategy is Strategy.ONE_TIME else Strategy.PERSISTENT
+    )
+
+    span = max(1, future.n_slots // 2)
+    starts = [
+        min((i * span) // n_starts, future.n_slots - 1) for i in range(n_starts)
+    ]
+    traces = [future] * len(starts)
+
+    t0 = time.perf_counter()
+    healthy = run_sweep(
+        traces,
+        decision.price,
+        job,
+        strategy=exec_strategy,
+        start_slots=starts,
+    )
+    healthy_seconds = time.perf_counter() - t0
+
+    faults = WorkerFaults(
+        kill_rate=kill_rate,
+        stall_rate=stall_rate,
+        stall_seconds=stall_seconds,
+        slow_start_rate=slow_start_rate,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    chaotic = run_sweep(
+        traces,
+        decision.price,
+        job,
+        strategy=exec_strategy,
+        start_slots=starts,
+        executor="process",
+        max_workers=max_workers,
+        worker_faults=faults,
+    )
+    chaos_seconds = time.perf_counter() - t0
+    if chaotic.scheduler is None:  # pragma: no cover - defensive
+        raise FaultError("chaotic run did not go through the process pool")
+
+    mismatched = tuple(
+        name
+        for name in _PARITY_FIELDS
+        if not np.array_equal(getattr(healthy, name), getattr(chaotic, name))
+    )
+    return WorkerChaosReport(
+        strategy=strategy,
+        bid_price=decision.price,
+        n_starts=n_starts,
+        max_workers=max_workers,
+        seed=seed,
+        faults=faults,
+        bitwise_identical=not mismatched,
+        mismatched_fields=mismatched,
+        healthy_seconds=healthy_seconds,
+        chaos_seconds=chaos_seconds,
+        scheduler=chaotic.scheduler,
     )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -34,6 +35,7 @@ __all__ = [
     "BackoffPolicy",
     "ItemFailure",
     "ExecutionResult",
+    "JournalWarning",
     "SweepJournal",
     "run_items",
 ]
@@ -101,6 +103,10 @@ class ExecutionResult:
         return not self.failures
 
 
+class JournalWarning(UserWarning):
+    """A journal file held unusable lines that resume skipped over."""
+
+
 class SweepJournal:
     """Append-only JSON-lines journal of finished work items.
 
@@ -109,6 +115,14 @@ class SweepJournal:
     journal whose signature differs raises
     :class:`~repro.errors.SweepExecutionError` rather than silently
     mixing results from different sweeps.
+
+    Crash consistency: a driver killed mid-append leaves a torn final
+    line.  :meth:`load` skips it with a :class:`JournalWarning` and
+    truncates the file back to the last complete record, so the next
+    append starts on a clean line instead of concatenating onto the torn
+    tail.  With ``fsync=True`` every record is flushed and fsync'd
+    before :meth:`record` returns — the scheduler's shard journals run
+    in this mode.
     """
 
     _MAGIC = "repro.resilience.journal/1"
@@ -118,46 +132,90 @@ class SweepJournal:
         path: Union[str, os.PathLike],
         *,
         signature: Optional[Dict[str, Any]] = None,
+        fsync: bool = False,
     ):
         self.path = os.fspath(path)
         self.signature = signature
+        self.fsync = bool(fsync)
         self._header_written = False
 
     def load(self) -> Dict[str, Any]:
-        """Finished items keyed by item key; ``{}`` if no journal yet."""
+        """Finished items keyed by item key; ``{}`` if no journal yet.
+
+        Unparseable lines are skipped with a :class:`JournalWarning`; a
+        torn *final* line (the expected residue of a crash mid-write) is
+        additionally repaired by truncating the file to the last
+        complete record.
+        """
         if not os.path.exists(self.path):
             return {}
         entries: Dict[str, Any] = {}
-        with open(self.path, "r") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final line from a crash mid-write is expected;
-                    # anything before it is still usable.
-                    continue
-                if lineno == 1:
-                    if record.get("magic") != self._MAGIC:
-                        raise SweepExecutionError(
-                            f"{self.path} is not a sweep journal"
-                        )
-                    stored = record.get("signature")
-                    if self.signature is not None and stored != self.signature:
-                        raise SweepExecutionError(
-                            f"journal {self.path} belongs to a different "
-                            f"sweep (signature {stored!r} != "
-                            f"{self.signature!r})"
-                        )
-                    self._header_written = True
-                    continue
-                entries[record["key"]] = record["result"]
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.split(b"\n")
+        good_bytes = 0  # end offset of the last fully-parsed line
+        torn_tail = False
+        for lineno, chunk in enumerate(lines, start=1):
+            is_last = lineno == len(lines)
+            line_bytes = len(chunk) + (0 if is_last else 1)
+            text = chunk.decode("utf-8", errors="replace").strip()
+            if not text:
+                good_bytes += line_bytes
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError:
+                if is_last:
+                    # A torn final line from a crash mid-write is
+                    # expected; everything before it is still usable.
+                    torn_tail = True
+                    warnings.warn(
+                        f"journal {self.path}: skipping torn final line "
+                        f"{lineno} (crash mid-write); resuming from the "
+                        f"last complete record",
+                        JournalWarning,
+                        stacklevel=2,
+                    )
+                    break
+                warnings.warn(
+                    f"journal {self.path}: skipping unparseable line "
+                    f"{lineno}",
+                    JournalWarning,
+                    stacklevel=2,
+                )
+                good_bytes += line_bytes
+                continue
+            if lineno == 1:
+                if not isinstance(record, dict) or record.get("magic") != self._MAGIC:
+                    raise SweepExecutionError(
+                        f"{self.path} is not a sweep journal"
+                    )
+                stored = record.get("signature")
+                if self.signature is not None and stored != self.signature:
+                    raise SweepExecutionError(
+                        f"journal {self.path} belongs to a different "
+                        f"sweep (signature {stored!r} != "
+                        f"{self.signature!r})"
+                    )
+                self._header_written = True
+                good_bytes += line_bytes
+                continue
+            entries[record["key"]] = record["result"]
+            good_bytes += line_bytes
+        if torn_tail:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_bytes)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
         return entries
 
     def record(self, key: str, result: Any) -> None:
-        """Append one finished item (writes the header first if needed)."""
+        """Append one finished item (writes the header first if needed).
+
+        With ``fsync=True`` the line is durable on disk — not just in
+        the page cache — before this method returns.
+        """
         with open(self.path, "a") as fh:
             if not self._header_written and fh.tell() == 0:
                 fh.write(
@@ -168,6 +226,9 @@ class SweepJournal:
                 )
                 self._header_written = True
             fh.write(json.dumps({"key": key, "result": result}) + "\n")
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
 
 
 def _identity(value: Any) -> Any:

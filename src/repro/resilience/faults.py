@@ -43,6 +43,8 @@ __all__ = [
     "TraceTruncation",
     "FaultInjector",
     "FaultyPriceSource",
+    "WorkerFaultPlan",
+    "WorkerFaults",
 ]
 
 
@@ -322,6 +324,117 @@ class FaultInjector:
     ) -> "FaultyPriceSource":
         """Wrap a live price source; see :class:`FaultyPriceSource`."""
         return FaultyPriceSource(source, self, horizon=horizon)
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """One worker epoch's fully-sampled process faults — pure data.
+
+    The coordinator samples a plan per ``(worker_id, epoch)`` and ships
+    it to the worker; the worker only ever reads plain floats and ints,
+    so plans cross the process boundary trivially.  Shard positions are
+    *worker-local sequence numbers* (the k-th shard this worker pulls),
+    which keeps plans meaningful under dynamic assignment.
+    """
+
+    slow_start_seconds: float = 0.0
+    #: Worker-local shard sequence at which the worker ``os._exit``\ s
+    #: before running it (``None`` = never).
+    kill_on_shard: Optional[int] = None
+    #: Worker-local shard sequence before which the worker stalls.
+    stall_on_shard: Optional[int] = None
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("slow_start_seconds", "stall_seconds"):
+            value = getattr(self, name)
+            if value < 0:
+                raise FaultError(f"{name} must be >= 0, got {value!r}")
+        for name in ("kill_on_shard", "stall_on_shard"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise FaultError(f"{name} must be >= 0, got {value!r}")
+
+    @property
+    def benign(self) -> bool:
+        return (
+            self.slow_start_seconds == 0.0
+            and self.kill_on_shard is None
+            and (self.stall_on_shard is None or self.stall_seconds == 0.0)
+        )
+
+
+BENIGN_WORKER_PLAN = WorkerFaultPlan()
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Seeded process-level chaos for the work-stealing scheduler.
+
+    Worker ``w`` at respawn ``epoch`` draws its plan from
+    ``np.random.default_rng([seed, w, epoch])`` — the same prefix-tuple
+    derivation as :class:`FaultInjector` — so a chaos run is a pure
+    function of ``seed`` *given* the dispatch order.  Epochs at or
+    beyond ``max_chaos_epochs`` always get the benign plan, which
+    bounds the chaos and guarantees the pool eventually drains even
+    with ``kill_rate=1.0``.
+    """
+
+    kill_rate: float = 0.5
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.5
+    slow_start_rate: float = 0.0
+    slow_start_seconds: float = 0.2
+    seed: int = 0
+    #: First-few-shards window chaos positions are drawn from.
+    first_shards: int = 3
+    max_chaos_epochs: int = 2
+    #: Restrict chaos to these pool slots (``None`` = all workers) —
+    #: e.g. ``(0,)`` makes exactly one worker the straggler.
+    only_workers: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _check_rate(self.kill_rate, "kill_rate")
+        _check_rate(self.stall_rate, "stall_rate")
+        _check_rate(self.slow_start_rate, "slow_start_rate")
+        if self.stall_seconds < 0:
+            raise FaultError(
+                f"stall_seconds must be non-negative, got {self.stall_seconds!r}"
+            )
+        if self.slow_start_seconds < 0:
+            raise FaultError(
+                f"slow_start_seconds must be non-negative, "
+                f"got {self.slow_start_seconds!r}"
+            )
+        if self.first_shards < 1:
+            raise FaultError(
+                f"first_shards must be >= 1, got {self.first_shards!r}"
+            )
+        if self.max_chaos_epochs < 0:
+            raise FaultError(
+                f"max_chaos_epochs must be >= 0, got {self.max_chaos_epochs!r}"
+            )
+
+    def plan(self, worker_id: int, epoch: int) -> WorkerFaultPlan:
+        """The sampled plan for one worker epoch (benign past the cap)."""
+        if epoch >= self.max_chaos_epochs:
+            return BENIGN_WORKER_PLAN
+        if self.only_workers is not None and worker_id not in self.only_workers:
+            return BENIGN_WORKER_PLAN
+        rng = np.random.default_rng([self.seed, int(worker_id), int(epoch)])
+        # One draw per knob, always, so enabling a knob never reshuffles
+        # the randomness another knob sees.
+        kill_u, kill_pos = rng.random(), int(rng.integers(0, self.first_shards))
+        stall_u, stall_pos = rng.random(), int(rng.integers(0, self.first_shards))
+        slow_u = rng.random()
+        return WorkerFaultPlan(
+            slow_start_seconds=(
+                self.slow_start_seconds if slow_u < self.slow_start_rate else 0.0
+            ),
+            kill_on_shard=kill_pos if kill_u < self.kill_rate else None,
+            stall_on_shard=stall_pos if stall_u < self.stall_rate else None,
+            stall_seconds=self.stall_seconds,
+        )
 
 
 class FaultyPriceSource(PriceSource):

@@ -1,0 +1,33 @@
+"""Crash-consistent shard journals.
+
+A :class:`ShardJournal` is a :class:`~repro.resilience.execution.SweepJournal`
+with durability turned all the way up: every record is flushed *and*
+fsync'd before :meth:`record` returns, so a shard the scheduler reports
+finished is finished on disk even if the driver is SIGKILLed one
+instruction later.  Torn-tail tolerance (a crash mid-append leaves a
+truncated final line, which resume skips with a warning and repairs)
+comes from the base class, so driver-level sweep journals and scheduler
+shard journals share one on-disk format and one resume path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Union
+
+from ..resilience.execution import SweepJournal
+
+__all__ = ["ShardJournal"]
+
+
+class ShardJournal(SweepJournal):
+    """An fsync'd-by-default :class:`SweepJournal` for scheduler shards."""
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        signature: Optional[Dict[str, Any]] = None,
+        fsync: bool = True,
+    ):
+        super().__init__(path, signature=signature, fsync=fsync)

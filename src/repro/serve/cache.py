@@ -40,6 +40,9 @@ class CacheStats:
     misses: int = 0
     stale: int = 0
     evictions: int = 0
+    #: File-tier entries that existed but could not be read or parsed;
+    #: each was evicted and also counted under ``misses``.
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -56,6 +59,7 @@ class CacheStats:
             "misses": self.misses,
             "stale": self.stale,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
 
@@ -111,6 +115,7 @@ class DecisionCache:
         self._misses = 0
         self._stale = 0
         self._evictions = 0
+        self._corrupt = 0
 
     # -- lookup ------------------------------------------------------------
     def get(
@@ -170,6 +175,7 @@ class DecisionCache:
             misses=self._misses,
             stale=self._stale,
             evictions=self._evictions,
+            corrupt=self._corrupt,
         )
 
     def clear(self) -> None:
@@ -215,15 +221,23 @@ class DecisionCache:
         self, key: str, request: DecisionRequest
     ) -> Optional[Tuple[str, DecisionResponse]]:
         path = self._file_path(key)
-        if path is None:
+        if path is None or not path.exists():
             return None
+        # From here on the entry *exists*: any failure to read or parse
+        # it is corruption, not a plain miss — evict the bad file (so it
+        # is rewritten on the next put) and bump the corruption counter,
+        # never propagate the exception.
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
             version = payload["table_version"]
             decision = decision_from_wire(payload["decision"])
-        except (OSError, ValueError, KeyError, ServeError):
+        except (OSError, ValueError, KeyError, TypeError, ServeError):
+            self._corrupt += 1
+            self._drop_file(key)
             return None
         if not isinstance(version, str):
+            self._corrupt += 1
+            self._drop_file(key)
             return None
         response = DecisionResponse(
             decision=decision,

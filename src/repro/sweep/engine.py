@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
         ExecutionResult,
         SweepJournal,
     )
-    from ..resilience.faults import FaultInjector
+    from ..resilience.faults import FaultInjector, WorkerFaults
 
 __all__ = ["map_traces", "run_sweep"]
 
@@ -334,6 +334,7 @@ def run_sweep(
     item_timeout: Optional[float] = None,
     strict: bool = True,
     journal: "Union[None, str, os.PathLike, SweepJournal]" = None,
+    worker_faults: "Optional[WorkerFaults]" = None,
 ) -> SweepReport:
     """Evaluate a grid of bids against a stack of price traces in one shot.
 
@@ -358,8 +359,12 @@ def run_sweep(
     start_slots:
         Slot offset(s) applied per trace before simulation.
     max_workers / executor:
-        Optional trace-level fan-out via ``concurrent.futures``
-        (``"thread"`` or ``"process"``).
+        Optional trace-level fan-out: ``"thread"`` uses a
+        ``concurrent.futures`` thread pool, ``"process"`` routes through
+        the fault-tolerant work-stealing scheduler
+        (:func:`repro.scheduler.run_shards`) — dynamic shard dispatch,
+        straggler speculation, crash respawn and poison-shard
+        quarantine, with results bitwise identical to a serial run.
     faults:
         Optional :class:`~repro.resilience.faults.FaultInjector`; trace
         ``i`` is perturbed with ``faults.derive(i)`` before simulation,
@@ -374,7 +379,16 @@ def run_sweep(
         :class:`~repro.errors.SweepExecutionError`.  ``journal`` (a path
         or :class:`~repro.resilience.execution.SweepJournal`) persists
         finished traces so an interrupted sweep resumes without
-        recomputing them.
+        recomputing them.  On the process path ``retries`` bounds the
+        scheduler's per-shard failure budget (``backoff`` does not apply
+        — recovery is immediate re-dispatch) and ``item_timeout`` kills
+        and respawns a worker whose shard exceeds it.
+    worker_faults:
+        Optional :class:`~repro.resilience.faults.WorkerFaults` —
+        seeded process-level chaos (worker kills, stalls, slow starts)
+        injected into the scheduler pool.  Requires
+        ``executor="process"``; results remain bitwise identical to the
+        fault-free run.
 
     Returns
     -------
@@ -417,6 +431,8 @@ def run_sweep(
     hits0, misses0 = _cache.distribution_cache_stats()
     n_cols = 1 if pair_bids else int(kernel_bids.shape[-1])
 
+    if worker_faults is not None and executor != "process":
+        raise ValueError("worker_faults requires executor='process'")
     resilient = (
         retries > 0 or item_timeout is not None or journal is not None or not strict
     )
@@ -426,25 +442,36 @@ def run_sweep(
         # isolated to exactly one row of the report.
         chunks = [np.asarray([i]) for i in range(n_traces)]
     elif max_workers is not None and max_workers > 1 and n_traces > 1:
-        bounds = np.array_split(np.arange(n_traces), min(max_workers, n_traces))
+        # Process fan-out goes through the work-stealing scheduler, so
+        # cut more shards than workers: a slow worker then holds back
+        # one small shard, not a statically assigned 1/W of the sweep.
+        n_chunks = (
+            min(n_traces, max(2, 4 * max_workers))
+            if executor == "process"
+            else min(max_workers, n_traces)
+        )
+        bounds = np.array_split(np.arange(n_traces), n_chunks)
         chunks = [idx for idx in bounds if idx.size]
     else:
         chunks = [np.arange(n_traces)]
 
-    # Chunks cross a process boundary exactly when a process pool will
-    # actually be used; only then is the price stack worth sharing (and
-    # only then do worker-local cache counters need merging back).
+    # Chunks cross a process boundary exactly when the scheduler pool
+    # will actually be used; only then is the price stack worth sharing
+    # (and only then do worker-local cache counters need merging back).
     if resilient:
         out_of_process = executor == "process" and (
             (max_workers is not None and max_workers > 1)
             or item_timeout is not None
+            or worker_faults is not None
         )
     else:
-        out_of_process = (
-            executor == "process"
-            and max_workers is not None
-            and max_workers > 1
-            and len(chunks) > 1
+        out_of_process = executor == "process" and (
+            (
+                max_workers is not None
+                and max_workers > 1
+                and len(chunks) > 1
+            )
+            or worker_faults is not None
         )
 
     stack: Optional[SharedPriceStack] = None
@@ -475,11 +502,12 @@ def run_sweep(
 
         failures = ()
         reused: frozenset = frozenset()
+        sched_stats = None
         started = time.perf_counter()
-        if resilient:
+        if resilient and journal is not None:
             from ..resilience.execution import SweepJournal
 
-            if journal is not None and not isinstance(journal, SweepJournal):
+            if not isinstance(journal, SweepJournal):
                 journal = SweepJournal(
                     journal,
                     signature={
@@ -492,6 +520,44 @@ def run_sweep(
                         "n_traces": n_traces,
                     },
                 )
+        if out_of_process:
+            # The single process-fan-out path: the work-stealing
+            # scheduler pool (dynamic dispatch, straggler speculation,
+            # crash respawn, poison-shard quarantine).  ``retries``
+            # becomes the shard-failure budget; ``item_timeout`` the
+            # per-shard deadline after which a stuck worker is killed.
+            from ..scheduler import run_shards
+
+            sched = run_shards(
+                _run_kernel_chunk,
+                args,
+                max_workers=max_workers,
+                keys=(
+                    [f"trace:{i}" for i in range(n_traces)]
+                    if resilient
+                    else None
+                ),
+                labels=(
+                    [f"trace {i}" for i in range(n_traces)]
+                    if resilient
+                    else None
+                ),
+                journal=journal if resilient else None,
+                serialize=_serialize_kernel_result,
+                deserialize=_deserialize_kernel_result,
+                strict=strict,
+                max_shard_failures=(retries + 1) if resilient else None,
+                shard_timeout=item_timeout,
+                worker_faults=worker_faults,
+            )
+            failures = sched.failures
+            reused = frozenset(sched.reused)
+            sched_stats = sched.stats
+            results = [
+                r if r is not None else _failure_placeholder(n_cols)
+                for r in sched.results
+            ]
+        elif resilient:
             execution = map_traces(
                 _run_kernel_chunk,
                 args,
@@ -567,4 +633,5 @@ def run_sweep(
         interruptions=merged["interruptions"],
         counters=counters,
         failures=failures,
+        scheduler=sched_stats,
     )

@@ -11,7 +11,10 @@ from ..core.types import Strategy
 from ..market.outcomes import OutcomeStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import Optional
+
     from ..resilience.execution import ItemFailure
+    from ..scheduler.types import SchedulerStats
 
 __all__ = ["SweepCounters", "SweepReport"]
 
@@ -60,6 +63,9 @@ class SweepReport:
     counters: SweepCounters
     #: Work items that failed permanently (resilient runs only).
     failures: "Tuple[ItemFailure, ...]" = ()
+    #: How the work-stealing pool behaved (process fan-out runs only):
+    #: dispatches, speculations, crashes, respawns, quarantines.
+    scheduler: "Optional[SchedulerStats]" = None
 
     @property
     def shape(self) -> Tuple[int, int]:

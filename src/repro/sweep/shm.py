@@ -144,7 +144,19 @@ def open_stack(descriptor: StackDescriptor) -> Tuple[np.ndarray, np.ndarray]:
     """
     segment = _attached.get(descriptor.name)
     if segment is None:
-        segment = _attach_untracked(descriptor.name)
+        try:
+            segment = _attach_untracked(descriptor.name)
+        except FileNotFoundError:
+            # A respawned or speculative worker can receive a shard whose
+            # segment the parent has already unlinked (driver crashed and
+            # restarted, or the sweep finished while the dispatch was in
+            # flight).  Name the segment so the scheduler's failure
+            # record points at the stale descriptor, not a generic errno.
+            raise FileNotFoundError(
+                f"shared price stack {descriptor.name!r} is gone; the "
+                f"owning sweep has exited or been restarted — this shard "
+                f"must be re-dispatched under a fresh segment"
+            ) from None
         _attached[descriptor.name] = segment
         while len(_attached) > _MAX_ATTACHED:
             _, stale = _attached.popitem(last=False)

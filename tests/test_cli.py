@@ -227,3 +227,15 @@ class TestChaosCommand:
         assert main(["chaos", str(trace_file),
                      "--slave-trace", str(trace_file)]) == 1
         assert "--mapreduce" in capsys.readouterr().err
+
+    def test_kill_workers_mode_proves_bitwise_parity(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file), "--kill-workers",
+                     "--seed", "3", "--starts", "6", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worker chaos" in out
+        assert "IDENTICAL" in out
+
+    def test_kill_workers_excludes_mapreduce(self, trace_file, capsys):
+        assert main(["chaos", str(trace_file), "--kill-workers",
+                     "--mapreduce"]) == 1
+        assert "exclusive" in capsys.readouterr().err

@@ -98,6 +98,10 @@ class TestEnvVarRegistry:
             "REPRO_SERVE_TABLE_GRID",
             "REPRO_SERVE_CACHE_SIZE",
             "REPRO_SERVE_STALE_SLOTS",
+            "REPRO_SCHED_STRAGGLER_FACTOR",
+            "REPRO_SCHED_STRAGGLER_MIN_SECONDS",
+            "REPRO_SCHED_HEARTBEAT_SECONDS",
+            "REPRO_SCHED_MAX_SHARD_FAILURES",
         }
         assert env_var("REPRO_SWEEP_KERNEL") is ENV_VARS["REPRO_SWEEP_KERNEL"]
         with pytest.raises(EnvVarError, match="not a registered"):
@@ -145,3 +149,37 @@ class TestEnvVarRegistry:
         monkeypatch.setenv("REPRO_SERVE_STALE_SLOTS", "0")
         with pytest.raises(EnvVarError, match="REPRO_SERVE_STALE_SLOTS"):
             SERVE_STALE_SLOTS.get()
+
+    def test_sched_vars_parse_and_validate(self, monkeypatch):
+        from repro.constants import (
+            SCHED_HEARTBEAT_SECONDS,
+            SCHED_MAX_SHARD_FAILURES,
+            SCHED_STRAGGLER_FACTOR,
+            SCHED_STRAGGLER_MIN_SECONDS,
+            EnvVarError,
+        )
+
+        for var in (
+            SCHED_STRAGGLER_FACTOR,
+            SCHED_STRAGGLER_MIN_SECONDS,
+            SCHED_HEARTBEAT_SECONDS,
+            SCHED_MAX_SHARD_FAILURES,
+        ):
+            monkeypatch.delenv(var.name, raising=False)
+        assert SCHED_STRAGGLER_FACTOR.get() == 3.0
+        assert SCHED_STRAGGLER_MIN_SECONDS.get() == 1.0
+        assert SCHED_HEARTBEAT_SECONDS.get() == 0.5
+        assert SCHED_MAX_SHARD_FAILURES.get() == 3
+
+        monkeypatch.setenv("REPRO_SCHED_STRAGGLER_FACTOR", "2.5")
+        assert SCHED_STRAGGLER_FACTOR.get() == 2.5
+        for raw in ("0", "-1.0", "nan", "fast"):
+            monkeypatch.setenv("REPRO_SCHED_STRAGGLER_FACTOR", raw)
+            with pytest.raises(EnvVarError, match="REPRO_SCHED_STRAGGLER_FACTOR"):
+                SCHED_STRAGGLER_FACTOR.get()
+        for raw in ("0", "-3", "two"):
+            monkeypatch.setenv("REPRO_SCHED_MAX_SHARD_FAILURES", raw)
+            with pytest.raises(
+                EnvVarError, match="REPRO_SCHED_MAX_SHARD_FAILURES"
+            ):
+                SCHED_MAX_SHARD_FAILURES.get()

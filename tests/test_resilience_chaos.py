@@ -213,3 +213,39 @@ class TestRunMapReduceChaos:
         assert "slaves" in table
         for name in FAULT_CLASSES:
             assert name in table
+
+
+class TestRunWorkerChaos:
+    def test_chaotic_run_matches_fault_free_run(self, market, job):
+        from repro.resilience.chaos import run_worker_chaos
+
+        history, future = market
+        report = run_worker_chaos(
+            history,
+            future,
+            job,
+            ondemand_price=0.35,
+            seed=3,
+            n_starts=6,
+            max_workers=2,
+            stall_rate=0.0,
+        )
+        assert report.bitwise_identical
+        assert report.mismatched_fields == ()
+        assert report.scheduler.dispatched >= 1
+        table = report.table()
+        assert "IDENTICAL" in table and "crashes" in table
+
+    def test_validation(self, market, job):
+        from repro.errors import FaultError
+        from repro.resilience.chaos import run_worker_chaos
+
+        history, future = market
+        with pytest.raises(FaultError, match="n_starts"):
+            run_worker_chaos(
+                history, future, job, ondemand_price=0.35, n_starts=0
+            )
+        with pytest.raises(FaultError, match="max_workers"):
+            run_worker_chaos(
+                history, future, job, ondemand_price=0.35, max_workers=0
+            )

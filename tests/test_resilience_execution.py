@@ -9,6 +9,7 @@ from repro.errors import SweepExecutionError
 from repro.resilience.execution import (
     BackoffPolicy,
     ItemFailure,
+    JournalWarning,
     SweepJournal,
     run_items,
 )
@@ -146,7 +147,33 @@ class TestSweepJournal:
         journal.record("a", 1)
         with open(journal.path, "a") as fh:
             fh.write('{"key": "b", "resu')  # crash mid-write
-        assert SweepJournal(tmp_path / "j.jsonl").load() == {"a": 1}
+        with pytest.warns(JournalWarning, match="torn final line"):
+            assert SweepJournal(tmp_path / "j.jsonl").load() == {"a": 1}
+
+    def test_torn_final_line_is_repaired_on_load(self, tmp_path):
+        """Loading truncates the torn tail so the next append is clean."""
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a", 1)
+        with open(journal.path, "a") as fh:
+            fh.write('{"key": "b", "resu')
+        resumed = SweepJournal(tmp_path / "j.jsonl")
+        with pytest.warns(JournalWarning):
+            resumed.load()
+        resumed.record("b", 2)  # appends onto the repaired tail
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # a clean file must not warn
+            assert SweepJournal(tmp_path / "j.jsonl").load() == {"a": 1, "b": 2}
+
+    def test_unparseable_middle_line_is_skipped_not_repaired(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a", 1)
+        with open(journal.path, "a") as fh:
+            fh.write("not json at all\n")
+        journal.record("b", 2)
+        with pytest.warns(JournalWarning, match="unparseable"):
+            assert SweepJournal(tmp_path / "j.jsonl").load() == {"a": 1, "b": 2}
 
     def test_run_items_reuses_journaled_results(self, tmp_path):
         journal = SweepJournal(tmp_path / "j.jsonl")

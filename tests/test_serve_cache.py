@@ -119,6 +119,50 @@ class TestFileTier:
         cache.clear()  # force the file tier to answer
         assert cache.get(request_a, table_set.version) is None
         assert cache.stats().misses == 1
+        assert cache.stats().corrupt == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "not json",
+            '{"table_version": 3, "decision": {}}',  # version not a string
+            '{"decision": "missing fields"}',
+            "",
+        ],
+    )
+    def test_corrupt_entry_is_evicted_and_rewritable(
+        self, table_set, request_a, tmp_path, garbage
+    ):
+        """A bad file is unlinked on read, so the next put heals it."""
+        cache = DecisionCache(capacity=8, directory=tmp_path)
+        response = table_set.decide(request_a)
+        cache.put(request_a, response)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text(garbage, encoding="utf-8")
+        cache.clear()
+        assert cache.get(request_a, table_set.version) is None
+        assert not list(tmp_path.glob("*.json"))  # evicted, not left rotting
+        assert cache.stats().corrupt == 1
+        cache.put(request_a, response)
+        cache.clear()
+        healed = cache.get(request_a, table_set.version)
+        assert healed is not None and healed.cache_tier == "file"
+        assert cache.stats().corrupt == 1  # no new corruption counted
+
+    def test_unreadable_entry_counts_corrupt(
+        self, table_set, request_a, tmp_path
+    ):
+        import os
+
+        if os.geteuid() == 0:  # pragma: no cover - container runs as root
+            pytest.skip("permission bits do not bind as root")
+        cache = DecisionCache(capacity=8, directory=tmp_path)
+        cache.put(request_a, table_set.decide(request_a))
+        (entry,) = tmp_path.glob("*.json")
+        entry.chmod(0o000)
+        cache.clear()
+        assert cache.get(request_a, table_set.version) is None
+        assert cache.stats().corrupt == 1
 
     def test_stale_entries_are_unlinked(self, table_set, request_a, tmp_path):
         cache = DecisionCache(capacity=8, directory=tmp_path)
