@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = [
     "BenchCase",
+    "ExtensionBenchCase",
     "MapReduceBenchCase",
     "SchedulerBenchCase",
     "ServeBenchCase",
@@ -348,8 +349,93 @@ class SchedulerBenchCase:
         )
 
 
+@dataclass(frozen=True)
+class ExtensionBenchCase:
+    """One reproducible extension-kernel workload
+    (:mod:`repro.extensions.kernels`).
+
+    The contender is the batched kernel named by ``kernel`` (a
+    ``_EXT_KERNELS`` dispatch key); the reference timing is its retained
+    ``*_reference`` scalar oracle on identical inputs.  The runner
+    asserts the two lanes' result dicts compare bitwise equal before any
+    speedup is reported — the same gate the sweep and MapReduce lanes
+    pass.
+    """
+
+    name: str
+    #: Dispatch-table key into ``repro.extensions.kernels._EXT_KERNELS``.
+    kernel: str
+    #: Observations in the fitted empirical price distribution.
+    n_obs: int
+    #: Candidate bid prices scanned.
+    n_candidates: int
+    work: float
+    recovery_time: float
+    slot_length: float
+    seed: int
+    #: On-demand fraction grid points (``portfolio_grid`` only).
+    n_fractions: int = 0
+    #: π̄ for the portfolio's on-demand leg (``portfolio_grid`` only).
+    ondemand_price: float = 0.0
+    quick: bool = False
+
+    # Aliases so extension rows report through the same schema fields
+    # (traces × slots × bids) as the sweep cases: one distribution, its
+    # observation count, one lane per scanned cell.
+    @property
+    def n_traces(self) -> int:
+        return 1
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_obs
+
+    @property
+    def n_bids(self) -> int:
+        return self.n_candidates
+
+    @property
+    def lane_slots(self) -> int:
+        """Work volume: grid cells evaluated."""
+        return max(1, self.n_fractions) * self.n_candidates
+
+    @property
+    def label(self) -> str:
+        return "extension"
+
+    def build(self) -> Tuple[tuple, dict]:
+        """Materialize ``(args, kwargs)`` for the kernel/oracle pair."""
+        from ..core.distributions import EmpiricalPriceDistribution
+        from ..core.types import JobSpec
+
+        rng = np.random.default_rng(self.seed)
+        floor = rng.uniform(0.02, 0.05)
+        prices = floor + rng.exponential(0.01, size=self.n_obs)
+        spikes = rng.random(self.n_obs) < 0.08
+        prices = np.where(
+            spikes, prices + rng.uniform(0.2, 1.0, size=self.n_obs), prices
+        )
+        dist = EmpiricalPriceDistribution(np.ascontiguousarray(prices))
+        job = JobSpec(
+            execution_time=self.work,
+            recovery_time=self.recovery_time,
+            slot_length=self.slot_length,
+        )
+        candidates = np.linspace(dist.lower, dist.upper, self.n_candidates)
+        if self.kernel == "portfolio_grid":
+            return (dist, candidates, job), {
+                "ondemand_price": self.ondemand_price,
+                "ondemand_fractions": np.linspace(0.0, 1.0, self.n_fractions),
+            }
+        return (dist, candidates, job), {}
+
+
 AnyBenchCase = Union[
-    BenchCase, MapReduceBenchCase, SchedulerBenchCase, ServeBenchCase
+    BenchCase,
+    ExtensionBenchCase,
+    MapReduceBenchCase,
+    SchedulerBenchCase,
+    ServeBenchCase,
 ]
 
 CASES: List[AnyBenchCase] = [
@@ -460,6 +546,32 @@ CASES: List[AnyBenchCase] = [
         ondemand_price=1.5,
         slot_length=1.0 / 12.0,
         seed=20150825,
+    ),
+    # Extension-kernel acceptance workloads: the Section 8 risk scan on
+    # a dense candidate grid, and the portfolio (fraction × bid) grid —
+    # both gated on the >=10x speedup target and the bitwise check.
+    ExtensionBenchCase(
+        name="ext_risk_grid",
+        kernel="risk_scan",
+        n_obs=20000,
+        n_candidates=4096,
+        work=8.0,
+        recovery_time=0.25,
+        slot_length=1.0 / 12.0,
+        seed=20150827,
+        quick=True,
+    ),
+    ExtensionBenchCase(
+        name="ext_portfolio",
+        kernel="portfolio_grid",
+        n_obs=8000,
+        n_candidates=2048,
+        n_fractions=64,
+        work=8.0,
+        recovery_time=0.25,
+        slot_length=1.0 / 12.0,
+        ondemand_price=1.5,
+        seed=20150828,
     ),
     # The straggler-re-dispatch acceptance workload: a pinned stalled
     # worker, gated on how much speculation recovers of the stall.

@@ -41,6 +41,7 @@ from ..sweep.kernels import (
 )
 from .cases import (
     BenchCase,
+    ExtensionBenchCase,
     MapReduceBenchCase,
     SchedulerBenchCase,
     ServeBenchCase,
@@ -162,6 +163,32 @@ def _grids_bitwise_equal(
 ) -> bool:
     ad, bd = a.to_dict(), b.to_dict()
     return all(np.array_equal(ad[k], bd[k], equal_nan=True) for k in ad)
+
+
+def _extension_callable(
+    case: ExtensionBenchCase, reference: bool
+) -> Callable[..., dict]:
+    """One lane of an extension-kernel case.
+
+    Resolves the (kernel, oracle) pair from the same dispatch table
+    ``select_ext_kernel`` serves, so the bench times exactly what
+    production dispatches.
+    """
+    from ..extensions.kernels import extension_kernel_pair
+
+    kernel, oracle = extension_kernel_pair(case.kernel)
+    fn = oracle if reference else kernel
+
+    def run(args: tuple, kwargs: dict) -> dict:
+        return fn(*args, **kwargs)
+
+    return run
+
+
+def _ext_bitwise_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(
+        np.array_equal(a[k], b[k], equal_nan=True) for k in a
+    )
 
 
 def _sched_shard(payload: Tuple[int, int, int]) -> float:
@@ -344,6 +371,15 @@ def run_benchmarks(
             )
             equal = _grids_bitwise_equal(ref_result, event_result)
             events = event_result.slots_simulated
+        elif isinstance(case, ExtensionBenchCase):
+            ref_wall, ref_result = _time_kernel(
+                _extension_callable(case, reference=True), inputs, repeats
+            )
+            event_wall, event_result = _time_kernel(
+                _extension_callable(case, reference=False), inputs, repeats
+            )
+            equal = _ext_bitwise_equal(ref_result, event_result)
+            events = lane_slots
         elif isinstance(case, SchedulerBenchCase):
             # Reference = wait the pinned straggler out; event = the
             # same fault schedule with speculative re-dispatch on.

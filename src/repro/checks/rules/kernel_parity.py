@@ -23,7 +23,7 @@ check fail.  It runs whenever an anchor module is in the scan set.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..engine import Project, Reporter, Rule
 from ._common import module_bindings, referenced_names, string_constants
@@ -32,6 +32,7 @@ SWEEP_ENGINE = "src/repro/sweep/engine.py"
 SWEEP_KERNELS = "src/repro/sweep/kernels.py"
 MR_GRID = "src/repro/mapreduce/grid.py"
 MR_KERNELS = "src/repro/mapreduce/kernels.py"
+EXT_KERNELS = "src/repro/extensions/kernels.py"
 BENCH_CASES = "src/repro/bench/cases.py"
 BENCH_RUNNER = "src/repro/bench/runner.py"
 
@@ -52,6 +53,7 @@ class KernelParityRule(Rule):
         self._test_refs: Optional[Dict[str, Tuple[Set[str], Set[str]]]] = None
         self._check_sweep(project, report)
         self._check_mapreduce(project, report)
+        self._check_extensions(project, report)
 
     # -- corpus helpers ------------------------------------------------
 
@@ -298,4 +300,96 @@ class KernelParityRule(Rule):
                 f"no MapReduceBenchCase in {BENCH_CASES}; the plan-grid "
                 f"kernels {', '.join(repr(k) for k, _ in kernels)} have no "
                 f"bench coverage",
+            )
+
+    # -- extensions dispatch table -------------------------------------
+
+    def _check_extensions(self, project: Project, report: Reporter) -> None:
+        ctx = project.scanned.get(EXT_KERNELS)
+        if ctx is None:
+            return
+        # The table is annotated (`_EXT_KERNELS: Dict[...] = {...}`), so
+        # accept both plain and annotated assignments.
+        table_node: Optional[Union[ast.Assign, ast.AnnAssign]] = None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "_EXT_KERNELS"
+                for t in node.targets
+            ):
+                table_node = node
+                break
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "_EXT_KERNELS"
+                and node.value is not None
+            ):
+                table_node = node
+                break
+        if table_node is None or not isinstance(table_node.value, ast.Dict):
+            report.at(
+                EXT_KERNELS,
+                1,
+                "_EXT_KERNELS dispatch dict not found; the extension "
+                "kernel switch must stay statically analyzable",
+            )
+            return
+        pairs: List[Tuple[int, str, str]] = []
+        for key, value in zip(table_node.value.keys, table_node.value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            if not (
+                isinstance(value, ast.Tuple)
+                and len(value.elts) == 2
+                and all(isinstance(e, ast.Name) for e in value.elts)
+            ):
+                report.at(
+                    EXT_KERNELS,
+                    value.lineno,
+                    f"_EXT_KERNELS entry {key.value!r} must be a "
+                    f"(kernel, oracle) tuple of plain names",
+                )
+                continue
+            pairs.append((value.lineno, value.elts[0].id, value.elts[1].id))
+        if not pairs:
+            report.at(
+                EXT_KERNELS, table_node.lineno, "_EXT_KERNELS registers no kernels"
+            )
+            return
+        defined = module_bindings(ctx.tree)
+        for lineno, kernel, oracle in sorted(pairs):
+            if oracle != f"{kernel}_reference":
+                report.at(
+                    EXT_KERNELS,
+                    lineno,
+                    f"dispatch table pairs {kernel!r} with {oracle!r}; the "
+                    f"oracle must be named {kernel + '_reference'!r}",
+                )
+            for fn in (kernel, oracle):
+                if fn not in defined:
+                    report.at(
+                        EXT_KERNELS,
+                        lineno,
+                        f"{fn!r} is dispatched but not defined in "
+                        f"{EXT_KERNELS}",
+                    )
+            self._require_equivalence_test(
+                project, report, EXT_KERNELS, lineno, kernel, oracle
+            )
+        if not self._bench_case_calls(project).get("ExtensionBenchCase"):
+            report.at(
+                BENCH_CASES,
+                1,
+                f"no ExtensionBenchCase in {BENCH_CASES}; the extension "
+                f"kernels have no bench coverage",
+            )
+        runner_ctx = project.file(BENCH_RUNNER)
+        if runner_ctx is not None and "extension_kernel_pair" not in (
+            referenced_names(runner_ctx.tree)
+        ):
+            report.at(
+                BENCH_RUNNER,
+                1,
+                f"{BENCH_RUNNER} does not time the extension kernels "
+                f"(no extension_kernel_pair reference)",
             )

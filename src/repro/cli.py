@@ -47,7 +47,13 @@ import numpy as np
 from . import __version__
 from .constants import seconds
 from .core.client import BiddingClient
-from .core.types import DecisionRequest, JobSpec, Strategy
+from .core.types import (
+    CvarDecision,
+    DecisionRequest,
+    JobSpec,
+    PortfolioDecision,
+    Strategy,
+)
 from .errors import ReproError
 from .provider.fitting import fit_both_families
 from .traces import io as trace_io
@@ -162,10 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bid.add_argument(
         "--strategy",
-        choices=("one-time", "persistent", "percentile", "all"),
+        choices=(
+            "one-time", "persistent", "percentile", "portfolio", "cvar", "all",
+        ),
         default="all",
+        help="'all' runs the paper's three strategies; portfolio and "
+        "cvar must be requested explicitly",
     )
     p_bid.add_argument("--percentile", type=float, default=90.0)
+    p_bid.add_argument(
+        "--max-variance", type=float, default=None,
+        help="portfolio: cap on Var(paid price) in ($/h)^2",
+    )
+    p_bid.add_argument(
+        "--cvar-alpha", type=float, default=0.95,
+        help="cvar: tail level (CVaR averages the worst 1-alpha windows)",
+    )
 
     p_fit = sub.add_parser("fit", help="fit the provider model to a trace")
     p_fit.add_argument("trace", help="price-history CSV")
@@ -198,7 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--hours", type=_positive_float, default=1.0, help="t_s")
     p_sweep.add_argument("--recovery-seconds", type=_nonnegative_float, default=30.0)
     p_sweep.add_argument(
-        "--strategy", choices=("one-time", "persistent"), default="persistent"
+        "--strategy",
+        choices=("one-time", "persistent", "portfolio", "cvar"),
+        default="persistent",
+        help="portfolio/cvar first select a bid from the history, then "
+        "sweep the chosen price as a persistent request",
     )
     p_sweep.add_argument("--bids", type=_positive_int, default=16,
                          help="number of bid grid points")
@@ -209,6 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--start-slot", type=int, default=0)
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="fan traces out over this many workers")
+    p_sweep.add_argument(
+        "--ondemand", type=float, default=None,
+        help="on-demand price for portfolio/cvar selection; defaults to "
+        "the catalog entry for the history's instance type",
+    )
+    p_sweep.add_argument(
+        "--max-variance", type=float, default=None,
+        help="portfolio: cap on Var(paid price) in ($/h)^2",
+    )
+    p_sweep.add_argument(
+        "--cvar-alpha", type=float, default=0.95,
+        help="cvar: tail level (CVaR averages the worst 1-alpha windows)",
+    )
 
     p_exp = sub.add_parser("experiment", help="run a paper reproduction")
     p_exp.add_argument("name", choices=_EXPERIMENTS + ("all",))
@@ -488,6 +523,14 @@ def _print_decision(label: str, decision) -> None:
         parts.append(f"expected T={decision.expected_completion_time:.2f}h")
     if decision.acceptance_probability is not None:
         parts.append(f"F(p)={decision.acceptance_probability:.3f}")
+    if isinstance(decision, PortfolioDecision):
+        parts.append(f"spot fraction={decision.spot_fraction:.2f}")
+        parts.append(f"Var(price)={decision.price_variance:.3e}")
+    elif isinstance(decision, CvarDecision):
+        parts.append(
+            f"CVaR_{decision.alpha:g}=${decision.cvar:.4f} "
+            f"({decision.n_windows} windows)"
+        )
     print("  ".join(parts))
 
 
@@ -501,7 +544,10 @@ def _cmd_bid(args: argparse.Namespace) -> int:
         slot_length=history.slot_length,
     )
     strategies = (
-        tuple(Strategy) if args.strategy == "all" else (Strategy(args.strategy),)
+        # The paper's three; portfolio/cvar are opt-in extensions.
+        (Strategy.ONE_TIME, Strategy.PERSISTENT, Strategy.PERCENTILE)
+        if args.strategy == "all"
+        else (Strategy(args.strategy),)
     )
     print(
         f"job: t_s={args.hours:g}h t_r={args.recovery_seconds:g}s  "
@@ -509,7 +555,13 @@ def _cmd_bid(args: argparse.Namespace) -> int:
     )
     for strategy in strategies:
         response = client.decide(
-            DecisionRequest(job=job, strategy=strategy, percentile=args.percentile)
+            DecisionRequest(
+                job=job,
+                strategy=strategy,
+                percentile=args.percentile,
+                max_variance=args.max_variance,
+                cvar_alpha=args.cvar_alpha,
+            )
         )
         _print_decision(str(strategy), response.decision)
     return 0
@@ -567,21 +619,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     history = trace_io.read_csv(args.history)
     futures = [trace_io.read_csv(path) for path in args.futures]
-    low = args.low if args.low is not None else float(history.prices.min())
-    high = args.high if args.high is not None else float(history.prices.max())
-    if not high >= low:
-        raise ReproError(f"--high ({high:g}) must be >= --low ({low:g})")
-    bids = np.linspace(low, high, args.bids)
     job = JobSpec(
         execution_time=args.hours,
         recovery_time=seconds(args.recovery_seconds),
         slot_length=history.slot_length,
     )
+    strategy = Strategy(args.strategy)
+    if strategy.sweepable:
+        low = args.low if args.low is not None else float(history.prices.min())
+        high = args.high if args.high is not None else float(history.prices.max())
+        if not high >= low:
+            raise ReproError(f"--high ({high:g}) must be >= --low ({low:g})")
+        bids = np.linspace(low, high, args.bids)
+    else:
+        # Selection strategies pick one price from the history, which is
+        # then scored on the futures as a persistent request.
+        ondemand = _resolve_ondemand(args.ondemand, history.instance_type)
+        client = BiddingClient(history, ondemand_price=ondemand)
+        response = client.respond(
+            DecisionRequest(
+                job=job,
+                strategy=strategy,
+                max_variance=args.max_variance,
+                cvar_alpha=args.cvar_alpha,
+            )
+        )
+        _print_decision(str(strategy), response.decision)
+        bids = np.asarray([response.decision.price])
+        strategy = Strategy.PERSISTENT
     report = run_sweep(
         futures,
         bids,
         job,
-        strategy=Strategy(args.strategy),
+        strategy=strategy,
         start_slots=args.start_slot,
         max_workers=args.workers,
     )

@@ -294,6 +294,28 @@ SCHED_MAX_SHARD_FAILURES: "EnvVar[int]" = EnvVar(
     values="positive integer (default 3)",
 )
 
+#: Resolution of the on-demand/spot split grid scanned by the portfolio
+#: strategy (:mod:`repro.extensions.portfolio`).
+PORTFOLIO_GRID: "EnvVar[int]" = EnvVar(
+    name="REPRO_PORTFOLIO_GRID",
+    default=33,
+    parse=lambda raw: _parse_positive_int("REPRO_PORTFOLIO_GRID", raw),
+    description="Number of on-demand fraction grid points scanned by the "
+    "portfolio bid optimizer in repro.extensions.portfolio.",
+    values="positive integer (default 33)",
+)
+
+#: Number of historical windows the CVaR bid selector scores each
+#: candidate bid on (:mod:`repro.extensions.portfolio`).
+CVAR_WINDOWS: "EnvVar[int]" = EnvVar(
+    name="REPRO_CVAR_WINDOWS",
+    default=16,
+    parse=lambda raw: _parse_positive_int("REPRO_CVAR_WINDOWS", raw),
+    description="Number of rolling historical windows the CVaR bid "
+    "selector sweeps each candidate bid across.",
+    values="positive integer (default 16)",
+)
+
 #: Every environment variable the package reads, keyed by name.  New
 #: ``REPRO_*`` switches must be added here (rule ``RB301``) and to the
 #: table in ``docs/development.md``.
@@ -310,6 +332,8 @@ ENV_VARS: Mapping[str, "EnvVar[object]"] = {
         SCHED_STRAGGLER_MIN_SECONDS,
         SCHED_HEARTBEAT_SECONDS,
         SCHED_MAX_SHARD_FAILURES,
+        PORTFOLIO_GRID,
+        CVAR_WINDOWS,
     )
 }
 

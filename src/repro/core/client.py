@@ -90,7 +90,10 @@ class BiddingClient:
 
         The request names the job, the strategy (``Strategy.ONE_TIME``,
         Prop. 4; ``Strategy.PERSISTENT``, Prop. 5; ``Strategy.PERCENTILE``,
-        the Section 7 heuristic baseline) and the degradation policy; the
+        the Section 7 heuristic baseline; ``Strategy.PORTFOLIO``, the
+        variance-capped on-demand/spot mix; ``Strategy.CVAR``, tail-risk
+        bid selection over historical windows) and the degradation
+        policy; the
         returned :class:`~repro.core.types.DecisionResponse` carries the
         :class:`~repro.core.types.BidDecision` plus serving metadata.
 
@@ -137,6 +140,25 @@ class BiddingClient:
             elif request.strategy is Strategy.PERSISTENT:
                 decision = optimal_persistent_bid(
                     self.distribution, job, ondemand_price=self.ondemand_price
+                )
+            elif request.strategy is Strategy.PORTFOLIO:
+                # Deferred: repro.extensions imports repro.core.
+                from ..extensions.portfolio import optimal_portfolio_bid
+
+                decision = optimal_portfolio_bid(
+                    self.distribution,
+                    job,
+                    ondemand_price=self.ondemand_price,
+                    max_variance=request.max_variance,
+                )
+            elif request.strategy is Strategy.CVAR:
+                from ..extensions.portfolio import cvar_bid
+
+                decision = cvar_bid(
+                    self.history,
+                    job,
+                    alpha=request.cvar_alpha,
+                    ondemand_price=self.ondemand_price,
                 )
             else:
                 decision = percentile_bid(

@@ -262,6 +262,11 @@ class EmpiricalPriceDistribution(PriceDistribution):
         count = int(np.searchsorted(self._sorted, price, side="right"))
         return float(self._cumsum_sq[count]) / self._n
 
+    def partial_second_moment_array(self, prices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`partial_second_moment`."""
+        counts = np.searchsorted(self._sorted, prices, side="right")
+        return self._cumsum_sq[counts] / self._n
+
     def mean(self) -> float:
         return float(self._cumsum[-1]) / self._n
 

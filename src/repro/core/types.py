@@ -38,24 +38,38 @@ class Strategy(enum.Enum):
     """Bidding strategies understood by the client and sweep layers.
 
     ``ONE_TIME`` solves Prop. 4, ``PERSISTENT`` solves Prop. 5 and
-    ``PERCENTILE`` is the Section 7 heuristic baseline.  The enum replaces
-    the legacy string-typed ``strategy=`` arguments; strings are still
-    accepted through :func:`normalize_strategy` with a
-    :class:`DeprecationWarning`.
+    ``PERCENTILE`` is the Section 7 heuristic baseline.  ``PORTFOLIO``
+    mixes on-demand and persistent spot capacity, minimizing expected
+    cost under a variance cap; ``CVAR`` picks the bid minimizing the
+    conditional value-at-risk of the realized sweep cost across
+    historical windows.  The enum replaces the legacy string-typed
+    ``strategy=`` arguments; strings are still accepted through
+    :func:`normalize_strategy` with a :class:`DeprecationWarning`.
     """
 
     ONE_TIME = "one-time"
     PERSISTENT = "persistent"
     PERCENTILE = "percentile"
+    PORTFOLIO = "portfolio"
+    CVAR = "cvar"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
     @property
     def bid_kind(self) -> BidKind:
-        """The spot request type this strategy submits (PERCENTILE bids
-        are placed as persistent requests in every Section 7 experiment)."""
+        """The spot request type this strategy submits (all non-one-time
+        strategies place persistent requests; PORTFOLIO's spot leg and
+        CVAR's swept bid both survive interruptions)."""
         return BidKind.ONE_TIME if self is Strategy.ONE_TIME else BidKind.PERSISTENT
+
+    @property
+    def sweepable(self) -> bool:
+        """Whether :func:`repro.sweep.engine.run_sweep` can simulate this
+        strategy directly over a bid grid.  Selection strategies
+        (PERCENTILE, PORTFOLIO, CVAR) pick a price first and then sweep
+        it as ONE_TIME or PERSISTENT."""
+        return self in (Strategy.ONE_TIME, Strategy.PERSISTENT)
 
 
 #: Legacy spelling drift observed in the wild for the string API.
@@ -65,6 +79,8 @@ _STRATEGY_ALIASES = {
     "one_time": Strategy.ONE_TIME,
     "persistent": Strategy.PERSISTENT,
     "percentile": Strategy.PERCENTILE,
+    "portfolio": Strategy.PORTFOLIO,
+    "cvar": Strategy.CVAR,
 }
 
 
@@ -89,7 +105,8 @@ def normalize_strategy(strategy: Union[Strategy, str]) -> Strategy:
             return resolved
     raise ValueError(
         f"unknown strategy {strategy!r}; use Strategy.ONE_TIME, "
-        "Strategy.PERSISTENT or Strategy.PERCENTILE"
+        "Strategy.PERSISTENT, Strategy.PERCENTILE, Strategy.PORTFOLIO "
+        "or Strategy.CVAR"
     )
 
 
@@ -326,6 +343,37 @@ class DegradedDecision(BidDecision):
 
 
 @dataclass(frozen=True)
+class PortfolioDecision(BidDecision):
+    """A :class:`BidDecision` for the on-demand + spot portfolio strategy.
+
+    ``price`` is the spot leg's persistent bid ($/hour); on-demand hours
+    are bought at the quoted π̄ for ``spot_fraction``'s complement of the
+    work.  ``expected_cost`` covers both legs.
+    """
+
+    #: Fraction of the execution time run on spot (1 − w in the split).
+    spot_fraction: float = 0.0
+    #: Var(paid price) of the blended payment stream, ($/hour)².
+    price_variance: float = 0.0
+
+
+@dataclass(frozen=True)
+class CvarDecision(BidDecision):
+    """A :class:`BidDecision` chosen by CVaR over swept historical costs.
+
+    ``expected_cost`` is the mean realized cost across windows;
+    ``cvar`` is the mean of the worst ``(1 − alpha)`` tail.
+    """
+
+    #: Tail level: CVaR averages the worst (1 − alpha) fraction of costs.
+    alpha: float = 0.95
+    #: CVaR_alpha of the realized sweep cost, dollars.
+    cvar: float = 0.0
+    #: Number of historical windows the bid was scored on.
+    n_windows: int = 0
+
+
+@dataclass(frozen=True)
 class DecisionRequest:
     """One "what should I bid for this job?" question (Figure 1's input).
 
@@ -346,6 +394,13 @@ class DecisionRequest:
     percentile:
         Heuristic percentile, only meaningful for
         :attr:`Strategy.PERCENTILE`.
+    max_variance:
+        Cap on the conditional price variance of the blended payment
+        stream, only meaningful for :attr:`Strategy.PORTFOLIO`; ``None``
+        leaves the portfolio unconstrained.
+    cvar_alpha:
+        Tail level for :attr:`Strategy.CVAR` (CVaR averages the worst
+        ``1 − cvar_alpha`` fraction of historical window costs).
     degrade:
         With ``True``, an infeasible optimization falls back to the
         on-demand baseline (a :class:`DegradedDecision`) instead of
@@ -358,6 +413,8 @@ class DecisionRequest:
     job: JobSpec
     strategy: Strategy = Strategy.PERSISTENT
     percentile: float = 90.0
+    max_variance: Optional[float] = None
+    cvar_alpha: float = 0.95
     degrade: bool = False
     instance_type: Optional[str] = None
 
@@ -366,6 +423,17 @@ class DecisionRequest:
         if not (0.0 <= self.percentile <= 100.0):
             raise ValueError(
                 f"percentile must be within [0, 100], got {self.percentile!r}"
+            )
+        if self.max_variance is not None and not (
+            self.max_variance >= 0.0 and math.isfinite(self.max_variance)
+        ):
+            raise ValueError(
+                f"max_variance must be non-negative and finite, "
+                f"got {self.max_variance!r}"
+            )
+        if not 0.0 < self.cvar_alpha < 1.0:
+            raise ValueError(
+                f"cvar_alpha must be within (0, 1), got {self.cvar_alpha!r}"
             )
 
 

@@ -1,6 +1,11 @@
 """Section 8 extensions, implemented: risk-averse bidding, temporally
-correlated prices, collective (multi-user) bidding, and dependent-task
-(DAG) bidding."""
+correlated prices, collective (multi-user) bidding, dependent-task (DAG)
+bidding, and the portfolio / CVaR workloads built on top.
+
+Every extension's grid evaluation routes through the batched kernels in
+:mod:`repro.extensions.kernels` (``REPRO_SWEEP_KERNEL`` selects the
+vectorized fast path or the retained scalar oracles).
+"""
 
 from .collective import (
     CollectiveOutcome,
@@ -12,6 +17,7 @@ from .correlated import (
     autocorrelation,
     expected_interruptions_markov,
     interruption_reduction_factor,
+    lag1_persistence_grid,
     lag1_price_persistence,
 )
 from .checkpointing import (
@@ -20,10 +26,32 @@ from .checkpointing import (
     effective_job,
     optimize_checkpoint_interval,
 )
-from .dag import DagPlan, DagRunResult, TaskGraph, plan_dag, run_dag_on_trace
-from .forecasting import Ar1Forecaster, EwmaForecaster, PriceForecaster, forecast_bid
+from .dag import (
+    DagPlan,
+    DagRunResult,
+    DagSweepReport,
+    TaskGraph,
+    plan_dag,
+    run_dag_on_trace,
+    sweep_dag_plan,
+)
+from .forecasting import (
+    Ar1Forecaster,
+    EwmaForecaster,
+    PriceForecaster,
+    forecast_bid,
+    forecast_sweep,
+)
+from .kernels import extension_kernel_pair, select_ext_kernel
+from .portfolio import (
+    cvar_bid,
+    cvar_from_costs,
+    optimal_portfolio_bid,
+    portfolio_frontier,
+)
 from .spot_blocks import (
     PurchasingOption,
+    block_cost_grid,
     block_price,
     compare_purchasing_options,
 )
@@ -42,6 +70,7 @@ __all__ = [
     "autocorrelation",
     "expected_interruptions_markov",
     "interruption_reduction_factor",
+    "lag1_persistence_grid",
     "lag1_price_persistence",
     "CheckpointPlan",
     "CheckpointPolicy",
@@ -49,14 +78,24 @@ __all__ = [
     "optimize_checkpoint_interval",
     "DagPlan",
     "DagRunResult",
+    "DagSweepReport",
     "TaskGraph",
     "plan_dag",
     "run_dag_on_trace",
+    "sweep_dag_plan",
     "Ar1Forecaster",
     "EwmaForecaster",
     "PriceForecaster",
     "forecast_bid",
+    "forecast_sweep",
+    "extension_kernel_pair",
+    "select_ext_kernel",
+    "cvar_bid",
+    "cvar_from_costs",
+    "optimal_portfolio_bid",
+    "portfolio_frontier",
     "PurchasingOption",
+    "block_cost_grid",
     "block_price",
     "compare_purchasing_options",
     "conditional_price_variance",

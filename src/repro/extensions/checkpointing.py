@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..core.types import BidDecision, BidKind, JobSpec
 from ..core.distributions import PriceDistribution
 from ..errors import InfeasibleBidError
+from .kernels import select_ext_kernel
 
 __all__ = [
     "CheckpointPolicy",
@@ -117,6 +120,22 @@ class CheckpointPlan:
         return self.conservative_expected_cost
 
 
+def _capped_candidates(
+    dist: PriceDistribution, max_bid: Optional[float]
+) -> "tuple[np.ndarray, float]":
+    """Candidate bids at or below the cap (the cap is bid-policy, not
+    interval-dependent, so one array serves every effective job)."""
+    from ..core.persistent import candidate_prices
+
+    cap = dist.upper if max_bid is None else min(max_bid, dist.upper)
+    candidates = np.asarray(
+        [float(p) for p in candidate_prices(dist, dist.lower) if p <= cap + 1e-15]
+    )
+    if candidates.size == 0:
+        raise InfeasibleBidError(f"no candidate bids at or below {max_bid!r}")
+    return candidates, cap
+
+
 def best_capped_bid(
     dist: PriceDistribution, job: JobSpec, max_bid: Optional[float] = None
 ) -> BidDecision:
@@ -131,23 +150,16 @@ def best_capped_bid(
     re-introduces interruptions and hence the recovery-vs-overhead trade.
     """
     from ..core import costs as cost_fns
-    from ..core.persistent import candidate_prices
 
-    cap = dist.upper if max_bid is None else min(max_bid, dist.upper)
-    candidates = [
-        float(p) for p in candidate_prices(dist, dist.lower) if p <= cap + 1e-15
-    ]
-    if not candidates:
-        raise InfeasibleBidError(f"no candidate bids at or below {max_bid!r}")
-    best_price, best_value = None, math.inf
-    for p in candidates:
-        value = conservative_cost(dist, p, job)
-        if value < best_value:
-            best_price, best_value = p, value
-    if best_price is None or math.isinf(best_value):
+    candidates, cap = _capped_candidates(dist, max_bid)
+    cost = select_ext_kernel("checkpoint_grid")(dist, candidates, [job])["cost"][0]
+    best = int(np.argmin(cost))
+    best_value = float(cost[best])
+    if math.isinf(best_value):
         raise InfeasibleBidError(
             f"no feasible bid at or below {cap!r} for t_r={job.recovery_time!r}"
         )
+    best_price = float(candidates[best])
     accept = dist.cdf(best_price)
     running = job.execution_time / (
         1.0 - (job.recovery_time / job.slot_length) * (1.0 - accept)
@@ -194,7 +206,11 @@ def optimize_checkpoint_interval(
             lo * (hi / lo) ** (k / 11.0) for k in range(12)
         ]
 
-    best: Optional[CheckpointPlan] = None
+    # One batched kernel call scores every (interval, candidate bid)
+    # cell; per-row and cross-row argmin first-occurrence ties reproduce
+    # the original strict-inequality scans (earliest interval wins).
+    policies: List[CheckpointPolicy] = []
+    jobs: List[JobSpec] = []
     for interval in candidate_intervals:
         policy = CheckpointPolicy(
             interval=float(interval),
@@ -204,20 +220,29 @@ def optimize_checkpoint_interval(
         candidate = effective_job(job, policy)
         if candidate.execution_time <= candidate.recovery_time:
             continue
-        try:
-            decision = best_capped_bid(dist, candidate, max_bid)
-        except InfeasibleBidError:
-            continue
-        plan = CheckpointPlan(
-            policy=policy,
-            job=candidate,
-            decision=decision,
-            conservative_expected_cost=decision.expected_cost,
-        )
-        if best is None or plan.total_expected_cost < best.total_expected_cost:
-            best = plan
-    if best is None:
+        policies.append(policy)
+        jobs.append(candidate)
+    if not jobs:
         raise InfeasibleBidError(
             "no checkpoint interval admits a feasible persistent bid"
         )
-    return best
+    try:
+        candidates, _cap = _capped_candidates(dist, max_bid)
+    except InfeasibleBidError:
+        raise InfeasibleBidError(
+            "no checkpoint interval admits a feasible persistent bid"
+        ) from None
+    cost = select_ext_kernel("checkpoint_grid")(dist, candidates, jobs)["cost"]
+    row_best = cost.min(axis=1)
+    if not np.isfinite(row_best).any():
+        raise InfeasibleBidError(
+            "no checkpoint interval admits a feasible persistent bid"
+        )
+    winner = int(np.argmin(np.where(np.isfinite(row_best), row_best, np.inf)))
+    decision = best_capped_bid(dist, jobs[winner], max_bid)
+    return CheckpointPlan(
+        policy=policies[winner],
+        job=jobs[winner],
+        decision=decision,
+        conservative_expected_cost=decision.expected_cost,
+    )

@@ -29,12 +29,13 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.distributions import EmpiricalPriceDistribution
+from ..core.distcache import cached_distribution
 from ..core.persistent import optimal_persistent_bid
 from ..core.types import JobSpec
 from ..errors import DistributionError
 from ..provider.arrivals import ArrivalProcess
 from ..provider.pricing import validate_price_band
+from .kernels import select_ext_kernel
 
 __all__ = ["StrategicClass", "CollectiveRound", "CollectiveOutcome", "iterate_collective_bidding"]
 
@@ -127,18 +128,25 @@ def _simulate_prices(
     demand = arrivals.mean() / theta if math.isfinite(arrivals.mean()) else 1.0
     arr_seq = arrivals.sample(n_slots, rng)
     prices = np.empty(n_slots)
+    # The slot loop stays sequential (each slot's demand feeds the
+    # next), but the per-slot candidate scan runs through the batched
+    # ``collective_slot`` kernel; ``argmax`` first-occurrence ties
+    # reproduce the scalar loop's strict-inequality scan.
+    kernel = select_ext_kernel("collective_slot")
     for t in range(n_slots):
-        best_price, best_obj = pi_min, -math.inf
-        for p in cand:
-            n = demand * _accepted_fraction(
-                float(p), strategic_bids, weights, background_weight, pi_bar, pi_min
-            )
-            obj = beta * math.log1p(n) + float(p) * n
-            if obj > best_obj:
-                best_obj, best_price = obj, float(p)
-        n_accept = demand * _accepted_fraction(
-            best_price, strategic_bids, weights, background_weight, pi_bar, pi_min
+        scan = kernel(
+            cand,
+            strategic_bids,
+            weights,
+            background_weight,
+            demand,
+            beta=beta,
+            pi_bar=pi_bar,
+            pi_min=pi_min,
         )
+        best = int(np.argmax(scan["objective"]))
+        best_price = float(cand[best])
+        n_accept = demand * float(scan["fraction"][best])
         prices[t] = best_price
         demand = max(0.0, demand - theta * n_accept + float(arr_seq[t]))
     return prices
@@ -184,7 +192,9 @@ def iterate_collective_bidding(
     bids = []
     converged = False
     for _round in range(max_rounds):
-        dist = EmpiricalPriceDistribution(prices, upper=pi_bar)
+        # Shared distribution cache: every class in the round (and any
+        # repeat of the same trace) reuses one fitted ECDF.
+        dist = cached_distribution(prices, upper=pi_bar)
         new_bids = tuple(
             optimal_persistent_bid(dist, c.job).price for c in classes
         )

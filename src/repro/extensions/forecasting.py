@@ -27,10 +27,11 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.distcache import cached_distribution
 from ..core.distributions import EmpiricalPriceDistribution
 from ..core.onetime import optimal_onetime_bid
 from ..core.persistent import optimal_persistent_bid
@@ -38,7 +39,13 @@ from ..core.types import BidDecision, JobSpec, Strategy, normalize_strategy
 from ..errors import DistributionError
 from ..traces.history import SpotPriceHistory
 
-__all__ = ["PriceForecaster", "EwmaForecaster", "Ar1Forecaster", "forecast_bid"]
+__all__ = [
+    "PriceForecaster",
+    "EwmaForecaster",
+    "Ar1Forecaster",
+    "forecast_bid",
+    "forecast_sweep",
+]
 
 
 class PriceForecaster(abc.ABC):
@@ -87,7 +94,9 @@ class EwmaForecaster(PriceForecaster):
         if counts.sum() == 0:
             counts[-1] = 1
         samples = np.repeat(window, counts)
-        return EmpiricalPriceDistribution(samples)
+        # Forecasts are deterministic in (history, parameters), so
+        # repeated predictions share one fitted ECDF via the cache.
+        return cached_distribution(samples)
 
 
 @dataclass(frozen=True)
@@ -140,7 +149,9 @@ class Ar1Forecaster(PriceForecaster):
         mixed = np.concatenate(samples)
         floor = float(prices.min())
         mixed = np.clip(mixed, floor, None)
-        return EmpiricalPriceDistribution(mixed)
+        # The seeded generator makes the sample path a pure function of
+        # (history, resolution, seed) — safe to share via the cache.
+        return cached_distribution(mixed)
 
 
 def forecast_bid(
@@ -164,3 +175,38 @@ def forecast_bid(
     if strategy is Strategy.PERSISTENT:
         return optimal_persistent_bid(dist, job, ondemand_price=ondemand_price)
     raise ValueError(f"unsupported strategy {strategy!r} for forecast bidding")
+
+
+def forecast_sweep(
+    forecaster: PriceForecaster,
+    history: SpotPriceHistory,
+    job: JobSpec,
+    futures: "object",
+    *,
+    bids: Optional[Sequence[float]] = None,
+    strategy: "Strategy | str" = Strategy.PERSISTENT,
+    start_slots: "int | Sequence[int]" = 0,
+    ondemand_price: Optional[float] = None,
+):
+    """Choose a bid from the forecast, then score it on future traces
+    through the vectorized sweep engine.
+
+    Returns ``(decision, report)``: the forecast-optimal
+    :class:`~repro.core.types.BidDecision` and the
+    :class:`~repro.sweep.report.SweepReport` of sweeping ``bids``
+    (default: just the chosen price) across the ``futures`` trace stack
+    with :func:`repro.sweep.engine.run_sweep` — the same batched kernels
+    (and ``REPRO_SWEEP_KERNEL`` dispatch) every other engine uses, so
+    the forecasting ablation inherits their bitwise-tested fast path.
+    """
+    from ..sweep.engine import run_sweep
+
+    strategy = normalize_strategy(strategy)
+    decision = forecast_bid(
+        forecaster, history, job, strategy=strategy, ondemand_price=ondemand_price
+    )
+    grid = [decision.price] if bids is None else list(bids)
+    report = run_sweep(
+        futures, grid, job, strategy=strategy, start_slots=start_slots
+    )
+    return decision, report

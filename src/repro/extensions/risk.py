@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
 from scipy import stats
 
 from ..core import costs
@@ -26,6 +27,7 @@ from ..core.distributions import PriceDistribution
 from ..core.persistent import candidate_prices, minimize_cost_over_candidates
 from ..core.types import BidDecision, BidKind, JobSpec
 from ..errors import InfeasibleBidError
+from .kernels import select_ext_kernel
 
 __all__ = [
     "conditional_price_variance",
@@ -77,26 +79,25 @@ def variance_bounded_bid(
     ``Var(π | π <= p) <= max_variance``, and minimizes Φ_sp over the
     survivors.  Raises :class:`InfeasibleBidError` when no bid satisfies
     both the variance bound and eq. 14.
+
+    The scan runs through the batched ``risk_scan`` kernel (vectorized
+    by default, scalar oracle under ``REPRO_SWEEP_KERNEL=reference``);
+    ``argmin`` first-occurrence ties reproduce the original loop's
+    strict-inequality scan exactly.
     """
     if max_variance < 0:
         raise ValueError(f"max_variance must be non-negative, got {max_variance!r}")
     candidates = candidate_prices(dist, dist.lower)
-    best_price: Optional[float] = None
-    best_cost = math.inf
-    for p in candidates:
-        p = float(p)
-        accept = dist.cdf(p)
-        if accept <= 0.0:
-            continue
-        if conditional_price_variance(dist, p) > max_variance:
-            continue
-        c = costs.persistent_cost(dist, p, job)
-        if c < best_cost:
-            best_cost, best_price = c, p
-    if best_price is None or math.isinf(best_cost):
+    scan = select_ext_kernel("risk_scan")(dist, candidates, job)
+    eligible = (scan["accept"] > 0.0) & (scan["variance"] <= max_variance)
+    masked_cost = np.where(eligible, scan["cost"], np.inf)
+    best = int(np.argmin(masked_cost))
+    best_cost = float(masked_cost[best])
+    if math.isinf(best_cost):
         raise InfeasibleBidError(
             f"no bid satisfies Var(π|π<=p) <= {max_variance!r} with finite cost"
         )
+    best_price = float(candidates[best])
     if ondemand_price is not None:
         ceiling = costs.ondemand_cost(ondemand_price, job.execution_time)
         if best_cost > ceiling * (1.0 + 1e-12):
@@ -167,18 +168,15 @@ def deadline_chance_bid(
             f"miss_probability must be in (0, 1), got {miss_probability!r}"
         )
     candidates = candidate_prices(dist, dist.lower)
-    feasible = [
-        float(p)
-        for p in candidates
-        if deadline_miss_probability(dist, float(p), job, deadline)
-        <= miss_probability
-    ]
-    if not feasible:
+    scan = select_ext_kernel("deadline_scan")(dist, candidates, job, deadline)
+    feasible = scan["miss"] <= miss_probability
+    if not feasible.any():
         raise InfeasibleBidError(
             f"no bid meets P(T > {deadline!r}h) <= {miss_probability!r}; "
             "use an on-demand instance for hard deadlines (Section 8)"
         )
-    floor_price = min(feasible)
+    # Candidates ascend, so the first feasible one is the price floor.
+    floor_price = float(candidates[int(np.argmax(feasible))])
     unconstrained = minimize_cost_over_candidates(dist, job, costs.persistent_cost)
     price = max(floor_price, unconstrained)
     expected_cost = costs.persistent_cost(dist, price, job)

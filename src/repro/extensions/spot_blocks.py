@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core import costs
 from ..core.distributions import PriceDistribution
@@ -31,8 +33,14 @@ from ..core.onetime import optimal_onetime_bid
 from ..core.persistent import optimal_persistent_bid
 from ..core.types import JobSpec
 from ..errors import InfeasibleBidError, PlanError
+from .kernels import select_ext_kernel
 
-__all__ = ["PurchasingOption", "block_price", "compare_purchasing_options"]
+__all__ = [
+    "PurchasingOption",
+    "block_price",
+    "block_cost_grid",
+    "compare_purchasing_options",
+]
 
 #: Block durations Amazon offered, hours.
 BLOCK_DURATIONS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
@@ -63,6 +71,35 @@ def block_price(
     return min(
         ondemand_price,
         mean_spot + premium_fraction * (ondemand_price - mean_spot),
+    )
+
+
+def block_cost_grid(
+    dist: PriceDistribution,
+    ondemand_price: float,
+    execution_times: Sequence[float],
+    *,
+    block_durations: Optional[Sequence[float]] = None,
+    base_premium: float = 0.05,
+    premium_per_hour: float = 0.02,
+) -> Dict[str, np.ndarray]:
+    """Spot-block cost and effective hourly price for a grid of jobs.
+
+    Batches the covering/chaining rule of
+    :func:`compare_purchasing_options` over many execution times in one
+    ``block_grid`` kernel call (vectorized by default, scalar oracle
+    under ``REPRO_SWEEP_KERNEL=reference``).  Returns ``{"cost",
+    "price"}`` arrays aligned with ``execution_times``.
+    """
+    durations = list(block_durations or BLOCK_DURATIONS)
+    kernel = select_ext_kernel("block_grid")
+    return kernel(
+        dist.mean(),
+        ondemand_price,
+        durations,
+        np.asarray(execution_times, dtype=float),
+        base_premium=base_premium,
+        premium_per_hour=premium_per_hour,
     )
 
 
@@ -156,20 +193,12 @@ def compare_purchasing_options(
 
     # Spot block: shortest single block covering t_s, else chained max
     # blocks (each chain link re-priced; still guaranteed end to end).
-    covering = [d for d in durations if d >= job.execution_time]
-    if covering:
-        duration = min(covering)
-        price = block_price(dist, ondemand_price, duration)
-        cost = price * job.execution_time
-    else:
-        longest = max(durations)
-        n_full, remainder = divmod(job.execution_time, longest)
-        cost = n_full * longest * block_price(dist, ondemand_price, longest)
-        if remainder > 1e-12:
-            covering = [d for d in durations if d >= remainder]
-            tail = min(covering) if covering else longest
-            cost += remainder * block_price(dist, ondemand_price, tail)
-        price = cost / job.execution_time
+    # Priced through the batched block_grid kernel.
+    grid = block_cost_grid(
+        dist, ondemand_price, [job.execution_time], block_durations=durations
+    )
+    cost = float(grid["cost"][0])
+    price = float(grid["price"][0])
     options.append(
         PurchasingOption(
             name="spot-block",

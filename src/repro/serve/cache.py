@@ -79,6 +79,8 @@ def _bucket_key(request: DecisionRequest) -> str:
             job.slot_length,
             request.strategy.value,
             request.percentile,
+            request.max_variance,
+            request.cvar_alpha,
         )
     )
     return hashlib.sha1(raw.encode("utf-8")).hexdigest()

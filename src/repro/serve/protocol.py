@@ -24,10 +24,12 @@ from typing import Any, Dict, Optional
 from ..core.types import (
     BidDecision,
     BidKind,
+    CvarDecision,
     DecisionRequest,
     DecisionResponse,
     DegradedDecision,
     JobSpec,
+    PortfolioDecision,
     Strategy,
 )
 from ..errors import ServeError
@@ -74,6 +76,8 @@ def request_to_wire(request: DecisionRequest) -> Dict[str, Any]:
         },
         "strategy": request.strategy.value,
         "percentile": request.percentile,
+        "max_variance": request.max_variance,
+        "cvar_alpha": request.cvar_alpha,
         "degrade": request.degrade,
         "instance_type": request.instance_type,
     }
@@ -93,10 +97,13 @@ def request_from_wire(payload: Dict[str, Any]) -> DecisionRequest:
             slot_length=float(job_fields["slot_length"]),
         )
         strategy = Strategy(payload.get("strategy", Strategy.PERSISTENT.value))
+        max_variance = payload.get("max_variance")
         return DecisionRequest(
             job=job,
             strategy=strategy,
             percentile=float(payload.get("percentile", 90.0)),
+            max_variance=None if max_variance is None else float(max_variance),
+            cvar_alpha=float(payload.get("cvar_alpha", 0.95)),
             degrade=bool(payload.get("degrade", True)),
             instance_type=payload.get("instance_type"),
         )
@@ -118,6 +125,17 @@ def decision_to_wire(decision: BidDecision) -> Dict[str, Any]:
     }
     if isinstance(decision, DegradedDecision):
         wire["reason"] = decision.reason
+    elif isinstance(decision, PortfolioDecision):
+        wire["portfolio"] = {
+            "spot_fraction": decision.spot_fraction,
+            "price_variance": decision.price_variance,
+        }
+    elif isinstance(decision, CvarDecision):
+        wire["cvar"] = {
+            "alpha": decision.alpha,
+            "cvar": decision.cvar,
+            "n_windows": decision.n_windows,
+        }
     return wire
 
 
@@ -141,6 +159,21 @@ def decision_from_wire(payload: Dict[str, Any]) -> BidDecision:
         )
         if payload.get("degraded"):
             return DegradedDecision(reason=str(payload.get("reason", "")), **common)
+        if "portfolio" in payload:
+            extra = payload["portfolio"]
+            return PortfolioDecision(
+                spot_fraction=float(extra["spot_fraction"]),
+                price_variance=float(extra["price_variance"]),
+                **common,
+            )
+        if "cvar" in payload:
+            extra = payload["cvar"]
+            return CvarDecision(
+                alpha=float(extra["alpha"]),
+                cvar=float(extra["cvar"]),
+                n_windows=int(extra["n_windows"]),
+                **common,
+            )
         return BidDecision(**common)
     except (KeyError, TypeError, ValueError) as exc:
         raise ServeError(f"invalid decision payload: {exc}") from None

@@ -353,9 +353,10 @@ def run_sweep(
         The :class:`~repro.core.types.JobSpec` to run in every cell.
     strategy:
         ``Strategy.PERSISTENT`` or ``Strategy.ONE_TIME`` — the request
-        kind the kernel simulates.  ``Strategy.PERCENTILE`` is a
-        bid-*selection* heuristic, not an execution kind: compute its bid
-        (e.g. via ``BiddingClient.decide``) and sweep it as PERSISTENT.
+        kind the kernel simulates.  ``Strategy.PERCENTILE``,
+        ``Strategy.PORTFOLIO`` and ``Strategy.CVAR`` are bid-*selection*
+        strategies, not execution kinds: compute their bid (e.g. via
+        ``BiddingClient.decide``) and sweep it as PERSISTENT.
     start_slots:
         Slot offset(s) applied per trace before simulation.
     max_workers / executor:
@@ -397,10 +398,10 @@ def run_sweep(
         oracle, plus work/cache counters.
     """
     strategy = normalize_strategy(strategy)
-    if strategy is Strategy.PERCENTILE:
+    if not strategy.sweepable:
         raise ValueError(
-            "Strategy.PERCENTILE selects a bid; compute it first and sweep "
-            "the resulting price with Strategy.PERSISTENT"
+            f"Strategy.{strategy.name} selects a bid; compute it first and "
+            "sweep the resulting price with Strategy.PERSISTENT"
         )
     _slot_length_of(traces, job)
     trace_list = _as_trace_list(traces)

@@ -26,10 +26,12 @@ PARITY_FILES = (
     "src/repro/sweep/kernels.py",
     "src/repro/mapreduce/grid.py",
     "src/repro/mapreduce/kernels.py",
+    "src/repro/extensions/kernels.py",
     "src/repro/bench/cases.py",
     "src/repro/bench/runner.py",
     "tests/test_sweep_kernels_equivalence.py",
     "tests/test_mr_kernels.py",
+    "tests/test_ext_kernels.py",
 )
 
 in_repo_checkout = pytest.mark.skipif(
@@ -84,6 +86,36 @@ class TestParityRuleGuardsRealAnchors:
         messages = [f.message for f in result.findings]
         assert any(
             "no equivalence test" in m and "mapreduce_grid_kernel" in m
+            for m in messages
+        )
+
+    def test_deleting_extension_equivalence_test_fails(self, tmp_path):
+        result = self.copy_tree(tmp_path, drop=("tests/test_ext_kernels.py",))
+        messages = [f.message for f in result.findings]
+        assert any(
+            "no equivalence test" in m and "risk_scan_kernel" in m
+            for m in messages
+        )
+        assert any("portfolio_grid_kernel" in m for m in messages)
+
+    def test_deleting_extension_oracle_fails(self, tmp_path):
+        result = self.copy_tree(tmp_path)
+        assert result.findings == ()
+        path = tmp_path / "src/repro/extensions/kernels.py"
+        source = path.read_text()
+        # Rename the risk oracle: the dispatch table now names an oracle
+        # that no longer exists, and the pair loses its proof.
+        path.write_text(
+            source.replace(
+                "def risk_scan_kernel_reference", "def _risk_oracle_gone"
+            )
+        )
+        result = run_checks(
+            [tmp_path / "src"], rules=[KernelParityRule()], root=tmp_path
+        )
+        messages = [f.message for f in result.findings]
+        assert any(
+            "risk_scan_kernel_reference" in m and "not defined" in m
             for m in messages
         )
 

@@ -102,6 +102,8 @@ class TestEnvVarRegistry:
             "REPRO_SCHED_STRAGGLER_MIN_SECONDS",
             "REPRO_SCHED_HEARTBEAT_SECONDS",
             "REPRO_SCHED_MAX_SHARD_FAILURES",
+            "REPRO_PORTFOLIO_GRID",
+            "REPRO_CVAR_WINDOWS",
         }
         assert env_var("REPRO_SWEEP_KERNEL") is ENV_VARS["REPRO_SWEEP_KERNEL"]
         with pytest.raises(EnvVarError, match="not a registered"):
