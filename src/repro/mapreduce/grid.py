@@ -41,9 +41,11 @@ from ..constants import SWEEP_KERNEL, EnvVarError
 from ..core.types import MapReducePlan
 from ..errors import MarketError, PlanError
 from ..traces.history import SpotPriceHistory
+from ..sweep import compiled as _compiled
 from .kernels import (
     TERMINATION_CODES,
     mapreduce_grid_kernel,
+    mapreduce_grid_kernel_compiled,
     mapreduce_grid_kernel_event,
 )
 from .runner import MapReduceRunResult, TerminationReason, run_plan_on_traces
@@ -57,6 +59,7 @@ __all__ = ["MapReduceGridResult", "run_plan_grid"]
 _BATCH_KERNELS = {
     "dense": mapreduce_grid_kernel,
     "event": mapreduce_grid_kernel_event,
+    "compiled": mapreduce_grid_kernel_compiled,
 }
 
 _CODE_OF = {reason: code for code, reason in enumerate(TERMINATION_CODES)}
@@ -79,7 +82,7 @@ class MapReduceGridResult:
     slave_interruptions: np.ndarray
     master_restarts: np.ndarray
     termination: np.ndarray
-    #: Which kernel actually ran: "scalar", "dense" or "event".
+    #: Which kernel actually ran: "scalar", "dense", "event" or "compiled".
     kernel: str
     #: Dense lane-slots or executed lane-events, per the kernel family.
     slots_simulated: int
@@ -137,18 +140,31 @@ class MapReduceGridResult:
 
 
 def _resolve_kernel(kernel: Optional[str]) -> str:
+    """Kernel key from the explicit argument or ``REPRO_SWEEP_KERNEL``.
+
+    An explicit ``kernel="compiled"`` is honored literally (the compiled
+    kernel runs interpreted without numba — same bits, no speedup);
+    the env-var route degrades to ``event`` with a one-time warning when
+    the compiled tier is unavailable, matching the sweep engine.
+    """
     if kernel is not None:
-        if kernel not in ("scalar", "dense", "event"):
+        if kernel not in ("scalar", "dense", "event", "compiled"):
             raise MarketError(
                 f"unknown MapReduce kernel {kernel!r}; "
-                "choose 'scalar', 'dense' or 'event'"
+                "choose 'scalar', 'dense', 'event' or 'compiled'"
             )
         return kernel
     try:
         mode = SWEEP_KERNEL.get()
     except EnvVarError as exc:
         raise MarketError(str(exc)) from None
-    return "event" if mode == "event" else "scalar"
+    if mode == "reference":
+        return "scalar"
+    if mode == "compiled":
+        if _compiled.COMPILED_AVAILABLE:
+            return "compiled"
+        _compiled.warn_compiled_fallback()
+    return "event"
 
 
 def _as_sequence(value: Any, n_runs: int, what: str) -> List:
@@ -238,7 +254,7 @@ def run_plan_grid(
     are exactly those of :func:`~repro.mapreduce.runner.run_plan_on_traces`
     with the same ``max_slots`` / ``max_master_restarts``.
 
-    ``kernel`` picks "scalar" (the oracle), "dense" or "event";
+    ``kernel`` picks "scalar" (the oracle), "dense", "event" or "compiled";
     ``None`` follows ``REPRO_SWEEP_KERNEL``.  With ``executor="process"``
     and a batched kernel, lane chunks fan out through the work-stealing
     scheduler (:func:`repro.scheduler.run_shards`) — dynamic dispatch,

@@ -1,0 +1,436 @@
+"""Compiled sweep kernels: the event loops as numba-JIT machine code.
+
+The event-driven kernels in :mod:`repro.sweep.events` already reduce the
+work to *executed lane-events*, but each lockstep step still pays a
+dozen NumPy dispatches over the live-lane vectors.  The kernels here run
+the same per-lane event walk as a scalar loop compiled with
+``@njit(cache=True)``: integer acceptance tests (``rank[t, s] < cnt``)
+and the oracle's float chain execute as machine code, one lane at a
+time, over the already-prepared padded sort / searchsorted arrays.
+
+The contract is unchanged — **bitwise identity** with the event lane
+(and hence with the reference kernels and the scalar oracle) on every
+cell field, including NaN placement and integer dtypes.  That holds
+because the scalar loop replays exactly the elementwise float operations
+of the event kernel in each lane's temporal order: IEEE-754 double
+arithmetic is deterministic, ``min`` on non-NaN doubles matches
+``np.minimum``, and numba without ``fastmath`` neither fuses nor
+reorders float ops.  ``slots_simulated`` counts executed lane-events,
+the same number the event kernels report.
+
+The tier is optional.  When numba is importable (the ``[compiled]``
+packaging extra) and ``NUMBA_DISABLE_JIT`` is not set,
+:data:`COMPILED_AVAILABLE` is true and the cores are JIT-compiled on
+first call (the benchmark runner's untimed warmup absorbs that).
+Otherwise the cores run as plain interpreted Python — still
+bitwise-correct, which is what the numba-free equivalence suites
+exercise — and the dispatch layers (``repro.sweep.engine``,
+``repro.mapreduce.grid``, ``repro.extensions.kernels``) fall back to the
+event lane with a one-time :func:`warn_compiled_fallback` warning rather
+than silently running interpreted scalar loops.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MarketError
+
+__all__ = [
+    "COMPILED_AVAILABLE",
+    "COMPILED_UNAVAILABLE_REASON",
+    "jit_kernel",
+    "onetime_sweep_kernel_compiled",
+    "persistent_sweep_kernel_compiled",
+    "warn_compiled_fallback",
+]
+
+try:  # pragma: no cover - only with the [compiled] extra installed
+    import numba as _numba
+except ImportError:  # pragma: no cover - the default, numba-free install
+    _numba = None
+
+COMPILED_AVAILABLE: bool
+COMPILED_UNAVAILABLE_REASON: Optional[str]
+if _numba is None:
+    COMPILED_AVAILABLE = False
+    COMPILED_UNAVAILABLE_REASON = (
+        "numba is not installed (pip install 'repro[compiled]')"
+    )
+elif os.environ.get("NUMBA_DISABLE_JIT", "").strip() not in ("", "0"):
+    # numba's own kill switch; honor it the way numba itself would.
+    COMPILED_AVAILABLE = False
+    COMPILED_UNAVAILABLE_REASON = "NUMBA_DISABLE_JIT is set in the environment"
+else:
+    COMPILED_AVAILABLE = True
+    COMPILED_UNAVAILABLE_REASON = None
+
+
+def _python_jit(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Identity stand-in for ``numba.njit`` on numba-free installs.
+
+    The loop bodies then execute as interpreted Python — slow, but
+    producing the same bits, which lets the equivalence suites verify
+    the compiled lane without numba present.
+    """
+    return fn
+
+
+jit_kernel: Callable[[Callable[..., Any]], Callable[..., Any]]
+if COMPILED_AVAILABLE:
+    jit_kernel = _numba.njit(cache=True)
+else:
+    jit_kernel = _python_jit
+
+
+_fallback_warned = False
+
+
+def warn_compiled_fallback() -> None:
+    """Warn (once per process) that ``compiled`` degraded to ``event``.
+
+    Called by the dispatch layers when ``REPRO_SWEEP_KERNEL=compiled``
+    is requested but :data:`COMPILED_AVAILABLE` is false.  Subsequent
+    calls are silent so scheduler fan-out and per-chunk dispatch do not
+    spam one warning per work item.
+    """
+    global _fallback_warned
+    if _fallback_warned:
+        return
+    _fallback_warned = True
+    reason = COMPILED_UNAVAILABLE_REASON or "the compiled tier is unavailable"
+    warnings.warn(
+        f"REPRO_SWEEP_KERNEL=compiled requested but {reason}; falling back "
+        "to the event kernels (bitwise-identical results, interpreted "
+        "speed)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+@jit_kernel
+def _persistent_core(
+    prices: np.ndarray,
+    rank: np.ndarray,
+    u_trace: np.ndarray,
+    u_cnt: np.ndarray,
+    n_valid: np.ndarray,
+    work: float,
+    recovery_time: float,
+    slot_len: float,
+    eps: float,
+) -> Tuple[
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    int,
+]:
+    """Per-lane persistent event walk over unique ``(trace, count)`` lanes.
+
+    Scalar replay of one accepted slot matches the event kernel's
+    elementwise operation order exactly; the break after the finishing
+    event mirrors the event kernel retiring finished lanes.
+    """
+    n_lanes = u_trace.shape[0]
+    o_fin = np.zeros(n_lanes, dtype=np.bool_)
+    o_cost = np.zeros(n_lanes)
+    o_ct = np.full(n_lanes, np.nan)
+    o_run = np.zeros(n_lanes)
+    o_rec = np.zeros(n_lanes)
+    o_intr = np.zeros(n_lanes, dtype=np.int64)
+    o_seen = np.zeros(n_lanes, dtype=np.int64)
+    o_last = np.full(n_lanes, -1, dtype=np.int64)
+    events = 0
+    for i in range(n_lanes):
+        t = u_trace[i]
+        cnt = u_cnt[i]
+        w = work
+        pend = 0.0
+        cost = 0.0
+        run = 0.0
+        rec = 0.0
+        ct = np.nan
+        intr = 0
+        seen = 0
+        last = -1
+        fin = False
+        for s in range(n_valid[t]):
+            if rank[t, s] >= cnt:
+                continue
+            events += 1
+            price = prices[t, s]
+            if seen > 0 and last < s - 1:
+                pend = recovery_time
+                intr += 1
+            if pend > 0.0:
+                step1 = min(pend, slot_len)
+            else:
+                step1 = 0.0
+            pend = pend - step1
+            rec = rec + step1
+            budget = slot_len - step1
+            used = step1
+            if budget > 0.0 and w > 0.0:
+                step2 = min(w, budget)
+            else:
+                step2 = 0.0
+            w = w - step2
+            used = used + step2
+            if w > eps:
+                used = slot_len
+            cost = cost + price * used
+            run = run + used
+            if w <= eps:
+                fin = True
+                ct = s * slot_len + used
+            last = s
+            seen += 1
+            if fin:
+                break
+        o_fin[i] = fin
+        o_cost[i] = cost
+        o_ct[i] = ct
+        o_run[i] = run
+        o_rec[i] = rec
+        o_intr[i] = intr
+        o_seen[i] = seen
+        o_last[i] = last
+    return o_fin, o_cost, o_ct, o_run, o_rec, o_intr, o_seen, o_last, events
+
+
+@jit_kernel
+def _onetime_core(
+    prices: np.ndarray,
+    rank: np.ndarray,
+    u_trace: np.ndarray,
+    u_cnt: np.ndarray,
+    n_valid: np.ndarray,
+    work: float,
+    slot_len: float,
+    eps: float,
+) -> Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int
+]:
+    """Per-lane one-time event walk: run the first contiguous accepted
+    run, die at the first gap between consecutive accepted events (the
+    dying event is still counted, as in the event kernel)."""
+    n_lanes = u_trace.shape[0]
+    o_fin = np.zeros(n_lanes, dtype=np.bool_)
+    o_cost = np.zeros(n_lanes)
+    o_ct = np.full(n_lanes, np.nan)
+    o_run = np.zeros(n_lanes)
+    o_started = np.zeros(n_lanes, dtype=np.bool_)
+    o_start = np.zeros(n_lanes, dtype=np.int64)
+    events = 0
+    for i in range(n_lanes):
+        t = u_trace[i]
+        cnt = u_cnt[i]
+        w = work
+        cost = 0.0
+        run = 0.0
+        ct = np.nan
+        started = False
+        dead = False
+        fin = False
+        start_slot = 0
+        last = -1
+        for s in range(n_valid[t]):
+            if rank[t, s] >= cnt:
+                continue
+            events += 1
+            starting = not started
+            run_now = starting or s == last + 1
+            if started and s != last + 1:
+                dead = True
+            used = min(w, slot_len)
+            if w > slot_len + eps:
+                used = slot_len
+            if run_now:
+                price = prices[t, s]
+                cost = cost + price * used
+                run = run + used
+                w = w - used
+                if w <= eps:
+                    fin = True
+                    ct = s * slot_len + used
+            if starting:
+                started = True
+                start_slot = s
+            if run_now:
+                last = s
+            if fin or dead:
+                break
+        o_fin[i] = fin
+        o_cost[i] = cost
+        o_ct[i] = ct
+        o_run[i] = run
+        o_started[i] = started
+        o_start[i] = start_slot
+    return o_fin, o_cost, o_ct, o_run, o_started, o_start, events
+
+
+def persistent_sweep_kernel_compiled(
+    prices: np.ndarray,
+    bids: np.ndarray,
+    *,
+    work: float,
+    recovery_time: float,
+    slot_length: float,
+    n_valid: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Compiled batched persistent sweep.
+
+    Drop-in replacement for
+    :func:`~repro.sweep.events.persistent_sweep_kernel` with
+    bitwise-identical outputs on every field, ``slots_simulated``
+    included.  Runs interpreted (same bits, no speedup) when
+    :data:`COMPILED_AVAILABLE` is false.
+    """
+    if work <= 0 or recovery_time < 0 or slot_length <= 0:
+        raise MarketError(
+            f"invalid parameters: work={work!r} "
+            f"recovery_time={recovery_time!r} slot_length={slot_length!r}"
+        )
+    from .events import _dedup_lanes, _price_ranks
+    from .kernels import _EPS, _prepare
+
+    prices, bids2, n_valid, accepted_total = _prepare(prices, bids, n_valid)
+    n_traces, n_slots = prices.shape
+    n_bids = bids2.shape[1]
+    shape = (n_traces, n_bids)
+
+    completed = np.zeros(shape, dtype=bool)
+    cost = np.zeros(shape)
+    completion_time = np.full(shape, np.nan)
+    running = np.zeros(shape)
+    idle = (n_valid[:, None] - accepted_total) * slot_length
+    recovery_used = np.zeros(shape)
+    interruptions = np.zeros(shape, dtype=np.int64)
+    result = {
+        "completed": completed,
+        "cost": cost,
+        "completion_time": completion_time,
+        "running_time": running,
+        "idle_time": idle,
+        "recovery_time_used": recovery_used,
+        "interruptions": interruptions,
+        "slots_simulated": 0,
+    }
+    lanes = _dedup_lanes(accepted_total, n_slots)
+    if lanes is None:
+        return result
+    flat_alive, inverse, u_trace, u_cnt = lanes
+    rank = _price_ranks(prices)
+
+    o_fin, o_cost, o_ct, o_run, o_rec, o_intr, o_seen, o_last, events = (
+        _persistent_core(
+            prices,
+            rank,
+            u_trace,
+            u_cnt,
+            n_valid,
+            float(work),
+            float(recovery_time),
+            float(slot_length),
+            _EPS,
+        )
+    )
+
+    # Exact post-loop accounting: the same expressions as the event
+    # kernel (which match the reference).
+    lane_valid = n_valid[u_trace]
+    idle_done = (o_last + 1 - o_seen) * slot_length
+    idle_not = (lane_valid - u_cnt) * slot_length
+    trailing = (~o_fin) & (o_seen > 0) & (o_last < lane_valid - 1)
+    o_intr = o_intr + trailing.astype(np.int64)
+
+    completed.ravel()[flat_alive] = o_fin[inverse]
+    cost.ravel()[flat_alive] = o_cost[inverse]
+    completion_time.ravel()[flat_alive] = o_ct[inverse]
+    running.ravel()[flat_alive] = o_run[inverse]
+    idle.ravel()[flat_alive] = np.where(o_fin, idle_done, idle_not)[inverse]
+    recovery_used.ravel()[flat_alive] = o_rec[inverse]
+    interruptions.ravel()[flat_alive] = o_intr[inverse]
+    result["slots_simulated"] = int(events)
+    return result
+
+
+def onetime_sweep_kernel_compiled(
+    prices: np.ndarray,
+    bids: np.ndarray,
+    *,
+    work: float,
+    slot_length: float,
+    n_valid: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Compiled batched one-time sweep.
+
+    Drop-in replacement for
+    :func:`~repro.sweep.events.onetime_sweep_kernel` with
+    bitwise-identical outputs on every field; interpreted (same bits)
+    when :data:`COMPILED_AVAILABLE` is false.
+    """
+    if work <= 0 or slot_length <= 0:
+        raise MarketError(
+            f"invalid parameters: work={work!r} slot_length={slot_length!r}"
+        )
+    from .events import _dedup_lanes, _price_ranks
+    from .kernels import _EPS, _prepare
+
+    prices, bids2, n_valid, accepted_total = _prepare(prices, bids, n_valid)
+    n_traces, n_slots = prices.shape
+    n_bids = bids2.shape[1]
+    shape = (n_traces, n_bids)
+
+    completed = np.zeros(shape, dtype=bool)
+    cost = np.zeros(shape)
+    completion_time = np.full(shape, np.nan)
+    running = np.zeros(shape)
+    idle = np.broadcast_to(n_valid[:, None] * slot_length, shape).copy()
+    result = {
+        "completed": completed,
+        "cost": cost,
+        "completion_time": completion_time,
+        "running_time": running,
+        "idle_time": idle,
+        "recovery_time_used": np.zeros(shape),
+        "interruptions": np.zeros(shape, dtype=np.int64),
+        "slots_simulated": 0,
+    }
+    lanes = _dedup_lanes(accepted_total, n_slots)
+    if lanes is None:
+        return result
+    flat_alive, inverse, u_trace, u_cnt = lanes
+    rank = _price_ranks(prices)
+
+    o_fin, o_cost, o_ct, o_run, o_started, o_start, events = _onetime_core(
+        prices,
+        rank,
+        u_trace,
+        u_cnt,
+        n_valid,
+        float(work),
+        float(slot_length),
+        _EPS,
+    )
+
+    lane_valid = n_valid[u_trace]
+    idle_lane = np.where(
+        o_started, o_start * slot_length, lane_valid * slot_length
+    )
+    completed.ravel()[flat_alive] = o_fin[inverse]
+    cost.ravel()[flat_alive] = o_cost[inverse]
+    completion_time.ravel()[flat_alive] = o_ct[inverse]
+    running.ravel()[flat_alive] = o_run[inverse]
+    idle.ravel()[flat_alive] = idle_lane[inverse]
+    result["slots_simulated"] = int(events)
+    return result

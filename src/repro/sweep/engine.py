@@ -33,10 +33,13 @@ from ..constants import SWEEP_KERNEL, EnvVarError
 from ..core.types import JobSpec, Strategy, normalize_strategy
 from ..errors import MarketError
 from . import cache as _cache
+from . import compiled as _compiled
 from .kernels import (
     onetime_sweep_kernel,
+    onetime_sweep_kernel_compiled,
     onetime_sweep_kernel_reference,
     persistent_sweep_kernel,
+    persistent_sweep_kernel_compiled,
     persistent_sweep_kernel_reference,
 )
 from .report import SweepCounters, SweepReport
@@ -218,13 +221,21 @@ def map_traces(
 
 def _select_kernels() -> Tuple[Callable[..., dict], Callable[..., dict]]:
     """Kernel pair chosen by ``REPRO_SWEEP_KERNEL`` (``event`` default,
-    ``reference`` for the dense oracle path).  Read per call — through
-    the :data:`repro.constants.SWEEP_KERNEL` registry entry — so workers
-    which inherit the parent's environment honor the same choice."""
+    ``reference`` for the dense oracle path, ``compiled`` for the
+    numba-JIT tier).  Read per call — through the
+    :data:`repro.constants.SWEEP_KERNEL` registry entry — so workers
+    which inherit the parent's environment honor the same choice; when
+    the compiled tier is unavailable each process degrades to the event
+    kernels with a one-time warning."""
     try:
         mode = SWEEP_KERNEL.get()
     except EnvVarError as exc:
         raise MarketError(str(exc)) from None
+    if mode == "compiled":
+        if _compiled.COMPILED_AVAILABLE:
+            return onetime_sweep_kernel_compiled, persistent_sweep_kernel_compiled
+        _compiled.warn_compiled_fallback()
+        return onetime_sweep_kernel, persistent_sweep_kernel
     if mode == "event":
         return onetime_sweep_kernel, persistent_sweep_kernel
     return onetime_sweep_kernel_reference, persistent_sweep_kernel_reference

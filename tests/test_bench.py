@@ -82,6 +82,34 @@ class TestRunner:
         assert row["events_processed"] > 0
         json.dumps(report)
 
+    def test_time_kernel_runs_one_untimed_warmup(self):
+        from repro.bench.runner import _time_kernel
+
+        calls = []
+
+        def fake_kernel(x):
+            calls.append(x)
+            return {"cost": x}
+
+        best, times, result = _time_kernel(fake_kernel, (7,), repeats=3)
+        # warmup + 3 timed repeats; only the repeats are timed.
+        assert len(calls) == 4
+        assert len(times) == 3
+        assert best == min(times)
+        assert result == {"cost": 7}
+
+    def test_rows_report_lane_and_repeat_timings(self):
+        report = run_benchmarks(cases=["persistent_small"], repeats=2)
+        (row,) = report["cases"]
+        assert row["kernel"] == "event"
+        for lane in ("reference", "event"):
+            timing = row[lane]
+            assert len(timing["repeat_seconds"]) == 2
+            assert timing["wall_seconds"] == min(timing["repeat_seconds"])
+            lo, hi = sorted(timing["repeat_seconds"])
+            assert lo <= timing["median_seconds"] <= hi
+        assert report["skipped"] == []
+
 
 class TestCaseSelection:
     def test_pattern_selects_by_glob(self):
@@ -233,3 +261,46 @@ class TestBenchCli:
     def test_unknown_case_is_clean_error(self, capsys):
         assert main(["bench", "--cases", "warpdrive"]) == 1
         assert "unknown benchmark case" in capsys.readouterr().err
+
+    def test_min_speedup_floor_passes(self, capsys):
+        code = main(
+            [
+                "bench", "--cases", "persistent_small", "--repeats", "1",
+                "--min-speedup", "1e-9",
+            ]
+        )
+        assert code == 0
+        assert "at or above the 1e-09x floor" in capsys.readouterr().out
+
+    def test_min_speedup_floor_fails(self, capsys):
+        code = main(
+            [
+                "bench", "--cases", "persistent_small", "--repeats", "1",
+                "--min-speedup", "1e9",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "below the 1e+09x floor" in err
+        assert "persistent_small" in err
+
+    def test_min_speedup_with_only_skipped_cases_fails(
+        self, monkeypatch, capsys
+    ):
+        from repro.sweep import compiled
+
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        code = main(
+            [
+                "bench", "--cases", "compiled_persistent_large",
+                "--repeats", "1", "--min-speedup", "3.0",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "no case was timed" in err
+        assert "compiled_persistent_large" in err
+
+    def test_min_speedup_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--min-speedup", "-1"])

@@ -1,0 +1,198 @@
+"""Clean degradation of the ``REPRO_SWEEP_KERNEL=compiled`` tier.
+
+When numba is missing (or ``NUMBA_DISABLE_JIT`` is set), requesting the
+compiled tier through the environment must fall back to the event
+kernels with exactly one ``RuntimeWarning`` per process — never an
+ImportError, never silently different results.  Explicit
+``kernel="compiled"`` arguments are honored literally (the compiled
+wrappers run interpreted through the identity-decorator shim), and the
+bench CLI's ``--kernel`` flag takes precedence over the environment.
+These tests drive both availability states by monkeypatching
+``repro.sweep.compiled.COMPILED_AVAILABLE`` — the attribute every
+dispatch site reads at call time.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.types import JobSpec
+from repro.extensions import kernels as ext_kernels
+from repro.mapreduce.grid import _resolve_kernel
+from repro.sweep import compiled
+from repro.sweep.engine import _select_kernels, run_sweep
+from repro.sweep.kernels import (
+    onetime_sweep_kernel,
+    onetime_sweep_kernel_compiled,
+    persistent_sweep_kernel,
+    persistent_sweep_kernel_compiled,
+)
+
+FIELDS = ("completed", "cost", "completion_time", "running_time")
+
+
+@pytest.fixture(autouse=True)
+def reset_fallback_warning(monkeypatch):
+    """Each test observes its own one-time warning."""
+    monkeypatch.setattr(compiled, "_fallback_warned", False)
+
+
+def _runtime_warnings(caught):
+    return [w for w in caught if issubclass(w.category, RuntimeWarning)]
+
+
+class TestSweepEngineFallback:
+    def test_unavailable_falls_back_to_event_with_one_warning(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = _select_kernels()
+            second = _select_kernels()
+        assert first == (onetime_sweep_kernel, persistent_sweep_kernel)
+        assert second == first
+        emitted = _runtime_warnings(caught)
+        assert len(emitted) == 1  # one-time, not per call
+        message = str(emitted[0].message)
+        assert "compiled" in message and "falling back" in message
+
+    def test_available_selects_compiled_kernels(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", True)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pair = _select_kernels()
+        assert pair == (
+            onetime_sweep_kernel_compiled,
+            persistent_sweep_kernel_compiled,
+        )
+        assert not _runtime_warnings(caught)
+
+    @pytest.mark.parametrize("available", [False, True])
+    def test_fanout_workers_inherit_mode_bitwise(
+        self, monkeypatch, available
+    ):
+        """`run_sweep` fan-out re-selects kernels per chunk, so every
+        worker lands on the same lane (or the same fallback) and the
+        report stays bitwise identical to the event lane."""
+        rng = np.random.default_rng(314)
+        traces = [rng.uniform(0.01, 0.2, size=80) for _ in range(6)]
+        bids = [0.03, 0.07, 0.12]
+        job = JobSpec(2.0, 0.5, slot_length=1.0)
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "event")
+        event = run_sweep(traces, bids, job)
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", available)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fanned = run_sweep(traces, bids, job, max_workers=2)
+        for field in FIELDS:
+            assert np.array_equal(
+                getattr(event, field), getattr(fanned, field), equal_nan=True
+            )
+
+
+class TestMapReduceFallback:
+    def test_env_route_degrades_explicit_arg_does_not(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert _resolve_kernel(None) == "event"
+        assert len(_runtime_warnings(caught)) == 1
+        # Explicit requests are honored literally: the compiled wrapper
+        # runs interpreted without numba, same bits.
+        assert _resolve_kernel("compiled") == "compiled"
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", True)
+        assert _resolve_kernel(None) == "compiled"
+
+
+class TestExtensionFallback:
+    def test_counterpart_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = ext_kernels.select_ext_kernel("persistence_grid")
+        assert fn is ext_kernels.persistence_grid_kernel
+        assert len(_runtime_warnings(caught)) == 1
+
+    def test_no_counterpart_uses_vectorized_silently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = ext_kernels.select_ext_kernel("risk_scan")
+        assert fn is ext_kernels.risk_scan_kernel
+        assert not _runtime_warnings(caught)  # nothing to fall back from
+
+    def test_available_selects_compiled_counterpart(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "compiled")
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", True)
+        assert (
+            ext_kernels.select_ext_kernel("dag_grid")
+            is ext_kernels.dag_grid_kernel_compiled
+        )
+        assert (
+            ext_kernels.select_ext_kernel("checkpoint_grid")
+            is ext_kernels.checkpoint_grid_kernel
+        )
+
+
+class TestBenchLane:
+    def test_run_benchmarks_rejects_unknown_kernel(self):
+        from repro.bench import run_benchmarks
+
+        with pytest.raises(ValueError, match="'compiled'"):
+            run_benchmarks(cases=["persistent_small"], kernel="warp")
+
+    def test_compiled_lane_degrades_to_event(self, monkeypatch):
+        from repro.bench import run_benchmarks
+
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = run_benchmarks(
+                cases=["persistent_small"], repeats=1, kernel="compiled"
+            )
+        assert len(_runtime_warnings(caught)) == 1
+        assert report["cases"][0]["kernel"] == "event"
+
+    def test_compiled_cases_skipped_when_unavailable(self, monkeypatch):
+        from repro.bench import run_benchmarks
+
+        monkeypatch.setattr(compiled, "COMPILED_AVAILABLE", False)
+        report = run_benchmarks(
+            cases=["compiled_persistent_large", "persistent_small"],
+            repeats=1,
+        )
+        assert report["skipped"] == ["compiled_persistent_large"]
+        assert [row["name"] for row in report["cases"]] == [
+            "persistent_small"
+        ]
+
+    def test_cli_kernel_flag_beats_env(self, monkeypatch, tmp_path):
+        out_path = tmp_path / "BENCH_lane.json"
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "reference")
+        code = main(
+            [
+                "bench", "--cases", "persistent_small", "--repeats", "1",
+                "--kernel", "event", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["cases"][0]["kernel"] == "event"
+
+    def test_cli_rejects_unknown_kernel_with_registry_message(
+        self, capsys
+    ):
+        code = main(["bench", "--kernel", "warp"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REPRO_SWEEP_KERNEL" in err and "'compiled'" in err

@@ -1,0 +1,294 @@
+"""Compiled-tier kernels vs their event-lane counterparts, bitwise.
+
+The ``REPRO_SWEEP_KERNEL=compiled`` tier (:mod:`repro.sweep.compiled`)
+promises *bitwise-identical* results to the event lane: the numba cores
+replay the event kernels' exact elementwise float chains in per-lane
+temporal order, so JIT compilation changes speed, never bits.  These
+tests drive that contract across seeded randomized workloads for every
+compiled kernel family — the sweep pair, the MapReduce plan grid (via
+``run_plan_grid(..., kernel="compiled")``, checked against both the
+dense grid and the scalar :func:`run_plan_on_traces` oracle), and the
+converted extension kernels.
+
+Without numba installed the compiled kernels run interpreted through
+the identity-decorator shim — same code path minus the JIT — so this
+suite is meaningful on numba-free installs too, and CI re-runs it with
+the ``[compiled]`` extra to cover the JIT-compiled variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BidDecision, BidKind, JobSpec, MapReduceJobSpec, MapReducePlan
+from repro.errors import MarketError
+from repro.extensions.kernels import (
+    dag_grid_kernel,
+    dag_grid_kernel_compiled,
+    persistence_grid_kernel,
+    persistence_grid_kernel_compiled,
+)
+from repro.mapreduce import run_plan_grid, run_plan_on_traces
+from repro.sweep.kernels import (
+    onetime_sweep_kernel,
+    onetime_sweep_kernel_compiled,
+    persistent_sweep_kernel,
+    persistent_sweep_kernel_compiled,
+)
+from repro.traces.history import SpotPriceHistory
+
+FIELDS = (
+    "completed",
+    "cost",
+    "completion_time",
+    "running_time",
+    "idle_time",
+    "recovery_time_used",
+    "interruptions",
+)
+
+
+def assert_bitwise(actual, expected):
+    for field in FIELDS:
+        a, e = actual[field], expected[field]
+        assert a.dtype == e.dtype, f"{field}: dtype {a.dtype} != {e.dtype}"
+        assert a.shape == e.shape, f"{field}: shape {a.shape} != {e.shape}"
+        assert np.array_equal(a, e, equal_nan=True), f"{field} diverged"
+
+
+def random_workload(rng, *, n_slots_max=120):
+    """One randomized ragged sweep workload with ties and mixed padding."""
+    n_traces = int(rng.integers(1, 7))
+    n_slots = int(rng.integers(1, n_slots_max))
+    n_bids = int(rng.integers(1, 9))
+    n_valid = rng.integers(1, n_slots + 1, size=n_traces).astype(np.int64)
+    prices = rng.uniform(0.01, 1.0, size=(n_traces, n_slots))
+    for t in range(n_traces):
+        if rng.random() < 0.5:
+            prices[t, n_valid[t]:] = np.inf
+        else:
+            prices[t, n_valid[t]:] = rng.uniform(
+                0.01, 1.0, n_slots - n_valid[t]
+            )
+    if n_slots > 3 and rng.random() < 0.5:
+        prices[:, 1] = prices[:, 0]  # duplicate prices → rank ties
+    if rng.random() < 0.5:
+        bids = np.sort(rng.uniform(0.0, 1.1, size=n_bids))
+    else:
+        bids = np.sort(rng.uniform(0.0, 1.1, size=(n_traces, n_bids)), axis=1)
+    if rng.random() < 0.5:
+        flat = bids.reshape(-1)
+        flat[int(rng.integers(flat.size))] = prices[0, 0]
+    work = float(rng.choice([0.05, 0.3, 1.0, 2.5, 7.0, 40.0]))
+    slot_length = float(rng.choice([0.5, 1.0, 2.0]))
+    recovery = float(rng.choice([0.0, 0.3, 1.0, 2.5]))
+    use_n_valid = rng.random() < 0.7
+    return prices, bids, n_valid if use_n_valid else None, work, slot_length, recovery
+
+
+class TestSweepCompiled:
+    @pytest.mark.parametrize("seed", [1509, 2015, 4242])
+    def test_persistent_matches_event(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            prices, bids, n_valid, work, L, R = random_workload(rng)
+            event = persistent_sweep_kernel(
+                prices, bids, work=work, recovery_time=R,
+                slot_length=L, n_valid=n_valid,
+            )
+            compiled = persistent_sweep_kernel_compiled(
+                prices, bids, work=work, recovery_time=R,
+                slot_length=L, n_valid=n_valid,
+            )
+            assert_bitwise(compiled, event)
+            assert compiled["slots_simulated"] == event["slots_simulated"]
+
+    @pytest.mark.parametrize("seed", [1509, 2015, 4242])
+    def test_onetime_matches_event(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            prices, bids, n_valid, work, L, _ = random_workload(rng)
+            event = onetime_sweep_kernel(
+                prices, bids, work=work, slot_length=L, n_valid=n_valid
+            )
+            compiled = onetime_sweep_kernel_compiled(
+                prices, bids, work=work, slot_length=L, n_valid=n_valid
+            )
+            assert_bitwise(compiled, event)
+            assert compiled["slots_simulated"] == event["slots_simulated"]
+
+    def test_invalid_inputs_rejected_like_event(self):
+        prices = np.ones((2, 3)) * 0.05
+        bids = np.array([0.1])
+        with pytest.raises(MarketError):
+            persistent_sweep_kernel_compiled(
+                prices, bids, work=0.0, recovery_time=0.1, slot_length=1.0
+            )
+        with pytest.raises(MarketError):
+            onetime_sweep_kernel_compiled(
+                prices, bids, work=1.0, slot_length=0.0
+            )
+        with pytest.raises(MarketError):
+            persistent_sweep_kernel_compiled(
+                np.ones((2, 2, 2)), bids, work=1.0, recovery_time=0.1,
+                slot_length=1.0,
+            )
+
+
+SLOT = 1.0 / 60.0
+
+
+def make_plan(
+    master_bid=0.5,
+    slave_bid=0.5,
+    num_slaves=2,
+    work=0.1,
+    recovery=0.0,
+    slot_length=SLOT,
+):
+    job = MapReduceJobSpec(
+        execution_time=work * num_slaves,
+        num_slaves=num_slaves,
+        recovery_time=recovery,
+        slot_length=slot_length,
+    )
+    return MapReducePlan(
+        job=job,
+        master_bid=BidDecision(
+            price=master_bid, kind=BidKind.ONE_TIME, expected_cost=0.1
+        ),
+        slave_bid=BidDecision(
+            price=slave_bid, kind=BidKind.PERSISTENT, expected_cost=0.1
+        ),
+        required_master_time=1.0,
+        min_slaves=1,
+    )
+
+
+def random_plan(rng):
+    return make_plan(
+        master_bid=float(rng.choice([0.05, 0.4, 0.7, 1.1, 5.0])),
+        slave_bid=float(rng.choice([0.05, 0.4, 0.7, 1.1, 5.0])),
+        num_slaves=int(rng.integers(1, 5)),
+        work=float(rng.uniform(0.02, 0.3)),
+        recovery=float(rng.choice([0.0, 0.002, 0.01])),
+    )
+
+
+def random_trace(rng, n_slots):
+    base = rng.uniform(0.3, 1.0)
+    prices = base + rng.exponential(0.25, n_slots) * rng.integers(0, 2, n_slots)
+    spikes = rng.random(n_slots) < 0.1
+    prices = np.where(spikes, prices + rng.uniform(0.5, 3.0, n_slots), prices)
+    return SpotPriceHistory(
+        prices=np.ascontiguousarray(prices), slot_length=SLOT
+    )
+
+
+class TestMapReduceCompiled:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_grid_matches_dense(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        plans = [random_plan(rng) for _ in range(int(rng.integers(1, 5)))]
+        n_runs = int(rng.integers(1, 4))
+        n_slots = int(rng.integers(40, 250))
+        m_traces, s_traces, starts = [], [], []
+        for _ in range(n_runs):
+            k = int(rng.integers(30, n_slots + 1))
+            m_traces.append(random_trace(rng, k))
+            s_traces.append(random_trace(rng, k))
+            lim = min(m_traces[-1].n_slots, s_traces[-1].n_slots)
+            starts.append(int(rng.integers(0, lim - 1)))
+        max_slots = None if rng.random() < 0.6 else int(rng.integers(5, n_slots))
+        cap = int(rng.choice([0, 1, 3, 50]))
+        kwargs = dict(
+            start_slots=starts, max_slots=max_slots, max_master_restarts=cap
+        )
+        dense = run_plan_grid(plans, m_traces, s_traces, kernel="dense", **kwargs)
+        compiled = run_plan_grid(
+            plans, m_traces, s_traces, kernel="compiled", **kwargs
+        )
+        for key, expected in dense.to_dict().items():
+            actual = compiled.to_dict()[key]
+            assert np.array_equal(expected, actual, equal_nan=True), (
+                f"{key} diverged"
+            )
+        assert compiled.slots_simulated == dense.slots_simulated
+
+    def test_cell_view_matches_scalar_runner(self):
+        rng = np.random.default_rng(11)
+        plans = [random_plan(rng) for _ in range(3)]
+        trace_m, trace_s = random_trace(rng, 120), random_trace(rng, 120)
+        starts = [0, 30, 110]
+        grid = run_plan_grid(
+            plans, trace_m, trace_s, start_slots=starts, kernel="compiled"
+        )
+        for i, plan in enumerate(plans):
+            for j, start in enumerate(starts):
+                ref = run_plan_on_traces(
+                    plan, trace_m, trace_s, start_slot=start
+                )
+                cell = grid.result(i, j)
+                assert np.array_equal(
+                    cell.completion_time, ref.completion_time, equal_nan=True
+                )
+                assert cell.completed == ref.completed
+                assert cell.master_cost == ref.master_cost
+                assert cell.slave_cost == ref.slave_cost
+                assert cell.master_restarts == ref.master_restarts
+                assert cell.slave_interruptions == ref.slave_interruptions
+
+
+class TestExtensionCompiled:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_persistence_grid_matches_event(self, seed):
+        rng = np.random.default_rng(8000 + seed)
+        n_rows = int(rng.integers(1, 8))
+        n_slots = int(rng.integers(3, 120))
+        n_bids = int(rng.integers(1, 25))
+        matrix = rng.uniform(0.0, 2.0, size=(n_rows, n_slots))
+        n_valid = rng.integers(2, n_slots + 1, size=n_rows)
+        for t in range(n_rows):
+            matrix[t, n_valid[t]:] = np.inf
+        bids = rng.uniform(0.0, 2.5, size=n_bids)
+        event = persistence_grid_kernel(matrix, bids, n_valid=n_valid)
+        compiled = persistence_grid_kernel_compiled(
+            matrix, bids, n_valid=n_valid
+        )
+        assert np.array_equal(event["rho"], compiled["rho"], equal_nan=True)
+        dense_event = persistence_grid_kernel(matrix, bids)
+        dense_compiled = persistence_grid_kernel_compiled(matrix, bids)
+        assert np.array_equal(
+            dense_event["rho"], dense_compiled["rho"], equal_nan=True
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dag_grid_matches_event(self, seed):
+        from repro.core.distributions import EmpiricalPriceDistribution
+
+        rng = np.random.default_rng(9000 + seed)
+        samples = rng.uniform(0.05, 3.0, size=int(rng.integers(20, 200)))
+        dist = EmpiricalPriceDistribution(samples)
+        candidates = rng.uniform(0.0, 3.5, size=int(rng.integers(1, 40)))
+        jobs = [
+            JobSpec(
+                execution_time=float(rng.uniform(1.0, 20.0)),
+                recovery_time=float(rng.uniform(0.0, 0.9)),
+                slot_length=float(rng.choice([0.5, 1.0])),
+            )
+            for _ in range(int(rng.integers(1, 6)))
+        ]
+        event = dag_grid_kernel(dist, candidates, jobs)
+        compiled = dag_grid_kernel_compiled(dist, candidates, jobs)
+        assert np.array_equal(
+            event["cost"], compiled["cost"], equal_nan=True
+        )
+
+    def test_dag_grid_rejects_nonprogressing_jobs_like_event(self):
+        from repro.core.distributions import EmpiricalPriceDistribution
+
+        dist = EmpiricalPriceDistribution(np.linspace(0.1, 1.0, 50))
+        bad = [JobSpec(execution_time=0.5, recovery_time=1.0, slot_length=1.0)]
+        with pytest.raises(ValueError):
+            dag_grid_kernel(dist, np.array([0.5]), bad)
+        with pytest.raises(ValueError):
+            dag_grid_kernel_compiled(dist, np.array([0.5]), bad)

@@ -69,6 +69,31 @@ class TestEnvVarRegistry:
         monkeypatch.setenv("REPRO_DIST_CACHE_SIZE", "7")
         assert DIST_CACHE_SIZE.get() == 7
 
+    def test_every_kernel_mode_parses(self, monkeypatch):
+        from repro.constants import SWEEP_KERNEL, SWEEP_KERNEL_MODES
+
+        assert SWEEP_KERNEL_MODES == ("event", "reference", "compiled")
+        for mode in SWEEP_KERNEL_MODES:
+            monkeypatch.setenv("REPRO_SWEEP_KERNEL", mode.upper())
+            assert SWEEP_KERNEL.get() == mode
+
+    def test_kernel_mode_error_lists_registry_modes(self, monkeypatch):
+        """The rejection message is derived from SWEEP_KERNEL_MODES, so
+        adding a mode can never leave the message stale."""
+        from repro.constants import (
+            SWEEP_KERNEL,
+            SWEEP_KERNEL_MODES,
+            EnvVarError,
+        )
+
+        monkeypatch.setenv("REPRO_SWEEP_KERNEL", "warp")
+        with pytest.raises(EnvVarError) as excinfo:
+            SWEEP_KERNEL.get()
+        message = str(excinfo.value)
+        for mode in SWEEP_KERNEL_MODES:
+            assert repr(mode) in message
+        assert "'warp'" in message
+
     def test_invalid_values_raise_envvarerror(self, monkeypatch):
         from repro.constants import (
             DIST_CACHE_SIZE,
