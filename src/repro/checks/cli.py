@@ -17,6 +17,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
+from ..constants import CHECK_CACHE
+from .cache import CheckCache
 from .engine import CheckResult, find_root, run_checks
 from .rules import RULES
 
@@ -38,17 +40,21 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         dest="output_format",
-        help="findings as human-readable rows or a repro.checks/1 JSON "
-        "document",
+        help="findings as human-readable rows, a repro.checks/1 JSON "
+        "document, or a SARIF 2.1.0 report (for CI problem annotations)",
     )
     parser.add_argument(
         "--changed",
-        action="store_true",
-        help="check only python files changed vs. git HEAD (plus "
-        "untracked); project-wide rules still see the full tree",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="check only python files changed vs. the given git ref "
+        "(default HEAD) plus untracked files; project-wide rules still "
+        "see the full tree",
     )
     parser.add_argument(
         "--root",
@@ -58,6 +64,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "with a pyproject.toml)",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="skip the incremental result cache (.repro-check-cache/) "
+        "for this run; REPRO_CHECK_CACHE=0 disables it globally",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         dest="list_rules",
@@ -65,11 +78,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _changed_files(root: Path) -> Optional[List[Path]]:
-    """Python files changed vs. HEAD plus untracked ones, or ``None``
-    when git is unavailable (callers fall back to a full scan)."""
+def _changed_files(root: Path, base: str = "HEAD") -> Optional[List[Path]]:
+    """Python files changed vs. ``base`` plus untracked ones, or
+    ``None`` when git (or the ref) is unavailable — callers fall back
+    to a full scan."""
     commands = (
-        ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
+        ["git", "-C", str(root), "diff", "--name-only", base, "--"],
         ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
     )
     names: List[str] = []
@@ -81,7 +95,7 @@ def _changed_files(root: Path) -> Optional[List[Path]]:
         except (OSError, subprocess.CalledProcessError):
             return None
         names.extend(line.strip() for line in proc.stdout.splitlines())
-    out = []
+    out: List[Path] = []
     for name in names:
         if not name.endswith(".py"):
             continue
@@ -110,11 +124,12 @@ def run_check(args: argparse.Namespace) -> int:
     else:
         root = find_root(Path.cwd())
 
-    if args.changed:
-        changed = _changed_files(root)
+    if args.changed is not None:
+        changed = _changed_files(root, base=args.changed)
         if changed is None:
             print(
-                "warning: git unavailable; falling back to a full scan",
+                f"warning: git diff vs. {args.changed!r} unavailable; "
+                f"falling back to a full scan",
                 file=sys.stderr,
             )
             paths = [root / target for target in DEFAULT_TARGETS]
@@ -140,9 +155,15 @@ def run_check(args: argparse.Namespace) -> int:
             if (root / target).exists()
         ]
 
-    result: CheckResult = run_checks(paths, root=root)
+    cache: Optional[CheckCache] = None
+    if not getattr(args, "no_cache", False) and CHECK_CACHE.get():
+        cache = CheckCache(root)
+
+    result: CheckResult = run_checks(paths, root=root, cache=cache)
     if args.output_format == "json":
         print(result.render_json())
+    elif args.output_format == "sarif":
+        print(result.render_sarif())
     else:
         print(result.render_human())
     return result.exit_code

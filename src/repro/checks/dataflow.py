@@ -1,0 +1,478 @@
+"""Intra-procedural dataflow for the check rules.
+
+The engine's single AST walk answers "does this node exist?"; the
+RB7xx concurrency/lifecycle rules also need "does every *path* through
+this function do X after Y?".  This module provides the minimum
+machinery for that:
+
+* :func:`iter_scopes` — every analysis scope of a module (the module
+  body itself plus each function), with nested function/class bodies
+  excluded, since they are separate scopes;
+* :func:`build_cfg` — a basic-block control-flow graph over one scope's
+  statements, covering ``if``/``while``/``for``/``try``/``with``/
+  ``match``, ``break``/``continue``/``return``/``raise``, with
+  ``finally`` bodies duplicated onto early-exit edges so "every path
+  passes through the finally" holds in the graph;
+* :func:`every_path_hits` — the path query the lifecycle rules run:
+  starting *after* a given statement, does every path to the scope exit
+  pass through a statement satisfying a predicate?
+* :func:`tainted_names` — a small forward fixpoint: names (transitively)
+  assigned from a source expression, used by the monotonic-clock rule.
+
+Deliberate approximations, chosen to keep the graph small and the
+rules quiet rather than complete:
+
+* exception edges are only drawn from a ``try`` block's *entry* to its
+  handlers — implicit "any bytecode may raise" edges would make every
+  explicit-close discipline fail and push everything to ``try/finally``
+  noqa soup;
+* a ``while``/``for`` header always has an exit edge, so ``while True``
+  loops admit a spurious exiting path (conservative in the permissive
+  direction);
+* ``with`` statements are linear: the context manager's ``__exit__`` is
+  the *structural* guard the lifecycle rules check for separately.
+
+All graphs are built per call and should be memoized by callers on the
+:class:`~repro.checks.engine.FileContext` (see :func:`cfg_for_scope`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "Block",
+    "CFG",
+    "Scope",
+    "build_cfg",
+    "cfg_for_scope",
+    "every_path_hits",
+    "iter_scopes",
+    "scope_statements",
+    "scope_walk",
+    "tainted_names",
+]
+
+_FUNCTION_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_BOUNDARY = _FUNCTION_TYPES + (ast.ClassDef, ast.Lambda)
+_TRY_TYPES: Tuple[type, ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # pragma: no cover - python >= 3.11
+    _TRY_TYPES = _TRY_TYPES + (ast.TryStar,)
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class Scope:
+    """One analysis scope: a module body or a single function body."""
+
+    def __init__(
+        self,
+        node: ScopeNode,
+        qualname: str,
+        class_chain: Tuple[str, ...],
+    ) -> None:
+        self.node = node
+        self.qualname = qualname
+        #: Names of the classes lexically enclosing this scope
+        #: (innermost last); empty for module scope and plain functions.
+        self.class_chain = class_chain
+
+    @property
+    def body(self) -> List[ast.stmt]:
+        return self.node.body
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+def iter_scopes(tree: ast.Module) -> List[Scope]:
+    """The module scope plus one :class:`Scope` per function def, at any
+    nesting depth.  Each scope's CFG/queries see only its *own*
+    statements — nested defs are opaque single statements."""
+    scopes: List[Scope] = [Scope(tree, "<module>", ())]
+
+    def descend(
+        body: Sequence[ast.stmt], prefix: str, classes: Tuple[str, ...]
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FUNCTION_TYPES):
+                qualname = f"{prefix}{stmt.name}"
+                scopes.append(Scope(stmt, qualname, classes))
+                descend(stmt.body, f"{qualname}.<locals>.", classes)
+            elif isinstance(stmt, ast.ClassDef):
+                descend(
+                    stmt.body,
+                    f"{prefix}{stmt.name}.",
+                    classes + (stmt.name,),
+                )
+            else:
+                for child in ast.walk(stmt):
+                    if isinstance(child, _FUNCTION_TYPES):
+                        # Defs nested in if/try/with bodies.
+                        qualname = f"{prefix}{child.name}"
+                        scopes.append(Scope(child, qualname, classes))
+                        descend(
+                            child.body, f"{qualname}.<locals>.", classes
+                        )
+    descend(tree.body, "", ())
+    return scopes
+
+
+def scope_walk(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """``ast.walk`` over a scope's statements, *without* descending into
+    nested function/class/lambda bodies (they are separate scopes)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_BOUNDARY):
+            # A nested def/class/lambda is one opaque statement of this
+            # scope: yielded, never descended into.
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def scope_statements(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement of a scope (including nested block bodies but not
+    nested def/class bodies)."""
+    for node in scope_walk(body):
+        if isinstance(node, ast.stmt):
+            yield node
+
+
+class Block:
+    """A basic block: straight-line statements plus successor edges."""
+
+    __slots__ = ("id", "stmts", "succ")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.stmts: List[ast.stmt] = []
+        self.succ: List["Block"] = []
+
+
+class CFG:
+    """Control-flow graph of one scope.
+
+    ``stmt_index`` maps ``id(stmt)`` to its ``(block, index)`` position
+    so path queries can start mid-block.  Statements in unreachable
+    blocks (after a ``return``) are still indexed; their paths simply
+    never reach the entry.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry: Optional[Block] = None
+        self.exit: Optional[Block] = None
+        self.stmt_index: Dict[int, Tuple[Block, int]] = {}
+
+
+class _CFGBuilder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.exit = self._new_block()
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.cfg.blocks))
+        self.cfg.blocks.append(block)
+        return block
+
+    @staticmethod
+    def _connect(src: Optional[Block], dst: Block) -> None:
+        if src is not None and dst not in src.succ:
+            src.succ.append(dst)
+
+    def _append(self, block: Block, stmt: ast.stmt) -> None:
+        self.cfg.stmt_index[id(stmt)] = (block, len(block.stmts))
+        block.stmts.append(stmt)
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self._new_block()
+        self.cfg.entry = entry
+        end = self._statements(body, entry, loops=[], finallies=[])
+        assert self.cfg.exit is not None
+        self._connect(end, self.cfg.exit)
+        return self.cfg
+
+    # ``loops`` holds (continue_target, break_target, finally_depth)
+    # per enclosing loop; ``finallies`` the stack of enclosing
+    # ``finally`` bodies (innermost last), duplicated onto early exits.
+
+    def _unwind(
+        self,
+        current: Block,
+        finallies: Sequence[Sequence[ast.stmt]],
+        depth: int,
+        target: Block,
+        loops: List[Tuple[Block, Block, int]],
+    ) -> None:
+        """Route ``current`` through finally bodies above ``depth``
+        (innermost first), then to ``target``."""
+        block: Optional[Block] = current
+        for final_body in reversed(list(finallies)[depth:]):
+            start = self._new_block()
+            self._connect(block, start)
+            block = self._statements(
+                final_body, start, loops=loops, finallies=[]
+            )
+        if block is not None:
+            self._connect(block, target)
+
+    def _statements(
+        self,
+        body: Sequence[ast.stmt],
+        current: Optional[Block],
+        loops: List[Tuple[Block, Block, int]],
+        finallies: List[Sequence[ast.stmt]],
+    ) -> Optional[Block]:
+        """Build blocks for a statement sequence starting in ``current``;
+        returns the open fall-through block, or ``None`` if every path
+        terminated (return/raise/break/continue)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator: keep indexing it
+                # in a fresh, unconnected block.
+                current = self._new_block()
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self._append(current, stmt)
+                assert self.cfg.exit is not None
+                self._unwind(current, finallies, 0, self.cfg.exit, loops)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                self._append(current, stmt)
+                if loops:
+                    header, after, depth = loops[-1]
+                    self._unwind(current, finallies, depth, after, loops)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                self._append(current, stmt)
+                if loops:
+                    header, after, depth = loops[-1]
+                    self._unwind(current, finallies, depth, header, loops)
+                current = None
+            elif isinstance(stmt, ast.If):
+                self._append(current, stmt)
+                join = self._new_block()
+                for branch in (stmt.body, stmt.orelse):
+                    start = self._new_block()
+                    self._connect(current, start)
+                    end = self._statements(branch, start, loops, finallies)
+                    self._connect(end, join)
+                current = join
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                self._append(current, stmt)
+                header = self._new_block()
+                after = self._new_block()
+                self._connect(current, header)
+                body_start = self._new_block()
+                self._connect(header, body_start)
+                inner = loops + [(header, after, len(finallies))]
+                end = self._statements(
+                    stmt.body, body_start, inner, finallies
+                )
+                self._connect(end, header)
+                if stmt.orelse:
+                    else_start = self._new_block()
+                    self._connect(header, else_start)
+                    else_end = self._statements(
+                        stmt.orelse, else_start, loops, finallies
+                    )
+                    self._connect(else_end, after)
+                else:
+                    self._connect(header, after)
+                current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._append(current, stmt)
+                current = self._statements(
+                    stmt.body, current, loops, finallies
+                )
+            elif isinstance(stmt, _TRY_TYPES):
+                self._append(current, stmt)
+                body_start = self._new_block()
+                self._connect(current, body_start)
+                if stmt.finalbody:
+                    finallies.append(stmt.finalbody)
+                body_end = self._statements(
+                    stmt.body, body_start, loops, finallies
+                )
+                if stmt.orelse:
+                    body_end = self._statements(
+                        stmt.orelse, body_end, loops, finallies
+                    )
+                handler_ends: List[Optional[Block]] = []
+                for handler in stmt.handlers:
+                    h_start = self._new_block()
+                    # Approximation: exceptions are modeled at try
+                    # entry only (see module docstring).
+                    self._connect(body_start, h_start)
+                    handler_ends.append(
+                        self._statements(
+                            handler.body, h_start, loops, finallies
+                        )
+                    )
+                if stmt.finalbody:
+                    finallies.pop()
+                    f_start = self._new_block()
+                    self._connect(body_end, f_start)
+                    for h_end in handler_ends:
+                        self._connect(h_end, f_start)
+                    f_end = self._statements(
+                        stmt.finalbody, f_start, loops, finallies
+                    )
+                    after = self._new_block()
+                    self._connect(f_end, after)
+                    current = after
+                else:
+                    join = self._new_block()
+                    self._connect(body_end, join)
+                    for h_end in handler_ends:
+                        self._connect(h_end, join)
+                    current = join
+            elif hasattr(ast, "Match") and isinstance(
+                stmt, ast.Match
+            ):  # pragma: no cover - python >= 3.10 feature use
+                self._append(current, stmt)
+                join = self._new_block()
+                # A match may fall through every case.
+                self._connect(current, join)
+                for case in stmt.cases:
+                    start = self._new_block()
+                    self._connect(current, start)
+                    end = self._statements(
+                        case.body, start, loops, finallies
+                    )
+                    self._connect(end, join)
+                current = join
+            else:
+                self._append(current, stmt)
+        return current
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """CFG over one scope's statement list."""
+    return _CFGBuilder().build(body)
+
+
+def cfg_for_scope(ctx: "object", scope: Scope) -> CFG:
+    """Build (or fetch the memoized) CFG for a scope.
+
+    ``ctx`` is a :class:`~repro.checks.engine.FileContext`; graphs are
+    cached on its ``cache`` dict so multiple rules analyzing the same
+    file share the work.
+    """
+    cache: Dict[str, object] = getattr(ctx, "cache", {})
+    store = cache.setdefault("dataflow.cfg", {})
+    assert isinstance(store, dict)
+    key = id(scope.node)
+    if key not in store:
+        store[key] = build_cfg(scope.body)
+    graph = store[key]
+    assert isinstance(graph, CFG)
+    return graph
+
+
+def every_path_hits(
+    cfg: CFG,
+    start: ast.stmt,
+    hit: Callable[[ast.stmt], bool],
+) -> bool:
+    """Does every CFG path from just *after* ``start`` to the scope exit
+    pass through a statement where ``hit`` returns true?
+
+    Returns ``True`` when ``start`` is not indexed (defensive: callers
+    pass statements from the same scope the CFG was built from).
+    Cycles that never reach the exit do not count as escaping paths.
+    """
+    position = cfg.stmt_index.get(id(start))
+    if position is None or cfg.exit is None:
+        return True
+    start_block, start_idx = position
+
+    # Reverse fixpoint: a block "escapes" when a path entering it at
+    # statement 0 can reach the exit without crossing a hit statement —
+    # i.e. none of its own statements hit, and it is the exit or has an
+    # escaping successor.
+    clean = {
+        block.id: not any(hit(stmt) for stmt in block.stmts)
+        for block in cfg.blocks
+    }
+    escaping: Set[int] = {cfg.exit.id}
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.id in escaping or not clean[block.id]:
+                continue
+            if any(nxt.id in escaping for nxt in block.succ):
+                escaping.add(block.id)
+                changed = True
+
+    # The start block itself: a hit in the remainder of the block stops
+    # every path through it before any successor is taken.
+    for stmt in start_block.stmts[start_idx + 1 :]:
+        if hit(stmt):
+            return True
+    return not any(nxt.id in escaping for nxt in start_block.succ)
+
+
+def tainted_names(
+    body: Sequence[ast.stmt],
+    is_source: Callable[[ast.AST], bool],
+) -> Set[str]:
+    """Names assigned (transitively, through plain-name assignment
+    chains) from an expression containing a source node."""
+
+    def expr_tainted(expr: ast.AST, tainted: Set[str]) -> bool:
+        for node in ast.walk(expr):
+            if is_source(node):
+                return True
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+        return False
+
+    def target_names(target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from target_names(element)
+        elif isinstance(target, ast.Starred):
+            yield from target_names(target.value)
+
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for stmt in scope_statements(body):
+            value: Optional[ast.expr]
+            targets: List[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            elif isinstance(stmt, ast.AugAssign):
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            if not expr_tainted(value, tainted):
+                continue
+            for name in [
+                n for t in targets for n in target_names(t)
+            ]:
+                if name not in tainted:
+                    tainted.add(name)
+                    changed = True
+    return tainted

@@ -32,16 +32,20 @@ at 1, so shells and CI read it as pass/fail.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -49,6 +53,9 @@ from typing import (
     Tuple,
     Type,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import CheckCache
 
 __all__ = [
     "SCHEMA",
@@ -116,6 +123,9 @@ class FileContext:
         self.rel = rel
         self.source = source
         self.tree: ast.Module = ast.parse(source, filename=str(path))
+        #: Scratch space for analyses shared between rules on the same
+        #: file (e.g. the dataflow layer memoizes CFGs here).
+        self.cache: Dict[str, Any] = {}
         #: line -> suppressed rule ids; ``None`` value means *all* rules.
         self.line_suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
         self.file_suppressions: FrozenSet[str] = frozenset()
@@ -147,6 +157,77 @@ class FileContext:
         return False
 
 
+class _ScanSet:
+    """Dict-like view of the scan set that parses cache-hit files lazily.
+
+    Files the incremental cache skipped are registered with
+    :meth:`register_lazy`; they count toward ``len()`` immediately but
+    are only read and parsed if a project rule actually asks for their
+    :class:`FileContext` (e.g. RB201 pulling the sweep engine's AST).
+    """
+
+    def __init__(self) -> None:
+        self._eager: Dict[str, FileContext] = {}
+        self._pending: Dict[str, Path] = {}
+        self._failed: Set[str] = set()
+
+    def __setitem__(self, rel: str, ctx: FileContext) -> None:
+        self._eager[rel] = ctx
+        self._pending.pop(rel, None)
+
+    def register_lazy(self, rel: str, path: Path) -> None:
+        if rel not in self._eager:
+            self._pending[rel] = path
+
+    def _materialize(self, rel: str) -> None:
+        path = self._pending.pop(rel)
+        try:
+            source = path.read_text(encoding="utf-8")
+            self._eager[rel] = FileContext(path, rel, source)
+        except (OSError, SyntaxError, ValueError, tokenize.TokenError):
+            # The file changed (or vanished) between hashing and this
+            # read; count it but serve no context, like a parse error.
+            self._failed.add(rel)
+
+    def get(self, rel: str, default: Optional[FileContext] = None) -> Optional[FileContext]:
+        if rel in self._pending:
+            self._materialize(rel)
+        return self._eager.get(rel, default)
+
+    def __getitem__(self, rel: str) -> FileContext:
+        ctx = self.get(rel)
+        if ctx is None:
+            raise KeyError(rel)
+        return ctx
+
+    def __contains__(self, rel: object) -> bool:
+        return rel in self._eager or rel in self._pending
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._eager
+        yield from self._pending
+
+    def keys(self) -> List[str]:
+        return list(self)
+
+    def __len__(self) -> int:
+        return len(self._eager) + len(self._pending) + len(self._failed)
+
+
+@dataclass
+class ProjectAccesses:
+    """Everything a run's project rules read outside the scan set.
+
+    Recorded so the incremental cache can prove an unchanged-tree rerun
+    would see identical inputs: extra parsed files and raw texts by
+    content digest, glob patterns by their result lists.
+    """
+
+    extras: Dict[str, Optional[str]] = field(default_factory=dict)
+    texts: Dict[str, Optional[str]] = field(default_factory=dict)
+    globs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
 class Project:
     """Repo-level context shared by all rules of one run.
 
@@ -160,8 +241,10 @@ class Project:
 
     def __init__(self, root: Path) -> None:
         self.root = root.resolve()
-        self.scanned: Dict[str, FileContext] = {}
+        self.scanned: _ScanSet = _ScanSet()
         self._extra: Dict[str, Optional[FileContext]] = {}
+        #: Set by the engine when an incremental cache is active.
+        self.accesses: Optional[ProjectAccesses] = None
 
     def rel(self, path: Path) -> str:
         resolved = path.resolve()
@@ -174,30 +257,47 @@ class Project:
         """The (possibly lazily parsed) context for a root-relative
         path, or ``None`` if the file is missing or unparseable."""
         if rel in self.scanned:
-            return self.scanned[rel]
+            return self.scanned.get(rel)
         if rel not in self._extra:
             path = self.root / rel
+            source: Optional[str] = None
             try:
                 source = path.read_text(encoding="utf-8")
                 self._extra[rel] = FileContext(path, rel, source)
             except (OSError, SyntaxError, ValueError):
                 self._extra[rel] = None
+            if self.accesses is not None:
+                self.accesses.extras[rel] = (
+                    hashlib.sha256(source.encode("utf-8")).hexdigest()
+                    if source is not None
+                    else None
+                )
         return self._extra[rel]
 
     def text(self, rel: str) -> Optional[str]:
         """Raw text of a root-relative file (e.g. a markdown doc)."""
         try:
-            return (self.root / rel).read_text(encoding="utf-8")
+            text: Optional[str] = (self.root / rel).read_text(encoding="utf-8")
         except OSError:
-            return None
+            text = None
+        if self.accesses is not None:
+            self.accesses.texts[rel] = (
+                hashlib.sha256(text.encode("utf-8")).hexdigest()
+                if text is not None
+                else None
+            )
+        return text
 
     def glob(self, pattern: str) -> List[str]:
         """Root-relative paths matching a glob under the root."""
-        return sorted(
+        result = sorted(
             self.rel(path)
             for path in self.root.glob(pattern)
             if path.is_file()
         )
+        if self.accesses is not None:
+            self.accesses.globs[pattern] = tuple(result)
+        return result
 
 
 class Reporter:
@@ -206,7 +306,16 @@ class Reporter:
     def __init__(self, project: Project, rule_id: str, sink: List[Finding]) -> None:
         self._project = project
         self.rule_id = rule_id
+        self._default_sink = sink
         self._sink = sink
+
+    def push_sink(self, sink: List[Finding]) -> None:
+        """Route ``at_node`` findings into ``sink`` (the engine uses a
+        per-file sink during walks so findings are cacheable)."""
+        self._sink = sink
+
+    def pop_sink(self) -> None:
+        self._sink = self._default_sink
 
     def at_node(self, ctx: FileContext, node: ast.AST, message: str) -> None:
         line = int(getattr(node, "lineno", 1))
@@ -218,7 +327,9 @@ class Reporter:
         ctx = self._project.file(rel)
         if ctx is not None and ctx.is_suppressed(line, self.rule_id):
             return
-        self._sink.append(Finding(rel, line, col, self.rule_id, message))
+        # Cross-file findings bypass any per-file sink: they must not be
+        # cached under the file currently being walked.
+        self._default_sink.append(Finding(rel, line, col, self.rule_id, message))
 
 
 class Rule:
@@ -298,6 +409,69 @@ class CheckResult:
         }
         return json.dumps(document, indent=2, sort_keys=True)
 
+    def render_sarif(self) -> str:
+        """The findings as a SARIF 2.1.0 document (what CI uploads so
+        GitHub renders findings as inline problem annotations)."""
+        from .rules import RULE_PACK_VERSION, RULES
+
+        descriptors = [
+            {
+                "id": rule_class.rule_id,
+                "name": rule_class.name,
+                "shortDescription": {"text": rule_class.description},
+            }
+            for rule_class in RULES
+        ]
+        descriptors.append(
+            {
+                "id": PARSE_ERROR_ID,
+                "name": "parse-error",
+                "shortDescription": {"text": "file does not parse"},
+            }
+        )
+        results = [
+            {
+                "ruleId": finding.rule_id,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            for finding in self.findings
+        ]
+        document = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.checks",
+                            "version": RULE_PACK_VERSION,
+                            "rules": descriptors,
+                        }
+                    },
+                    "originalUriBaseIds": {
+                        "SRCROOT": {"uri": self.root.as_uri() + "/"}
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
 
 def find_root(start: Path) -> Path:
     """The nearest ancestor of ``start`` holding ``pyproject.toml``
@@ -345,46 +519,112 @@ class CheckEngine:
             raise ValueError(f"duplicate rule ids in {ids}")
         self.rules = list(rules)
 
-    def run(self, paths: Sequence[Path], root: Optional[Path] = None) -> CheckResult:
+    def run(
+        self,
+        paths: Sequence[Path],
+        root: Optional[Path] = None,
+        cache: Optional["CheckCache"] = None,
+    ) -> CheckResult:
         files = iter_python_files([Path(p) for p in paths])
         if root is None:
             anchor = files[0] if files else Path.cwd()
             root = find_root(anchor)
         project = Project(root)
-        findings: List[Finding] = []
-        reporters = {
-            rule.rule_id: Reporter(project, rule.rule_id, findings)
-            for rule in self.rules
-        }
+        rule_key = ",".join(sorted(rule.rule_id for rule in self.rules))
 
+        findings: List[Finding] = []
+        hashed: List[Tuple[Path, str, bytes, str]] = []
         for path in files:
             rel = project.rel(path)
             try:
-                source = path.read_text(encoding="utf-8")
-                ctx = FileContext(path, rel, source)
-            except (SyntaxError, ValueError, tokenize.TokenError) as exc:
-                lineno = int(getattr(exc, "lineno", 1) or 1)
-                findings.append(
-                    Finding(rel, lineno, 0, PARSE_ERROR_ID, f"file does not parse: {exc}")
-                )
-                continue
+                raw = path.read_bytes()
             except OSError as exc:
                 findings.append(
                     Finding(rel, 1, 0, PARSE_ERROR_ID, f"file not readable: {exc}")
                 )
                 continue
+            hashed.append((path, rel, raw, hashlib.sha256(raw).hexdigest()))
+        complete = not findings
+
+        if cache is not None and complete:
+            cached_result = cache.try_manifest(
+                rule_key, {rel: digest for _, rel, _, digest in hashed}
+            )
+            if cached_result is not None:
+                return cached_result
+        if cache is not None:
+            project.accesses = ProjectAccesses()
+
+        reporters = {
+            rule.rule_id: Reporter(project, rule.rule_id, findings)
+            for rule in self.rules
+        }
+
+        for path, rel, raw, digest in hashed:
+            rows = cache.lookup(digest, rule_key) if cache is not None else None
+            if rows is not None:
+                findings.extend(
+                    Finding(rel, line, col, rule_id, message)
+                    for line, col, rule_id, message in rows
+                )
+                if not any(row[2] == PARSE_ERROR_ID for row in rows):
+                    # Stays visible to project rules, parsed on demand.
+                    project.scanned.register_lazy(rel, path)
+                continue
+            try:
+                ctx = FileContext(path, rel, raw.decode("utf-8"))
+            except (SyntaxError, ValueError, tokenize.TokenError) as exc:
+                lineno = int(getattr(exc, "lineno", 1) or 1)
+                row = Finding(
+                    rel, lineno, 0, PARSE_ERROR_ID, f"file does not parse: {exc}"
+                )
+                findings.append(row)
+                if cache is not None:
+                    cache.store(
+                        digest,
+                        rule_key,
+                        [(row.line, row.col, row.rule_id, row.message)],
+                    )
+                continue
             project.scanned[rel] = ctx
-            self._walk_file(ctx, reporters)
+            file_sink: List[Finding] = []
+            for reporter in reporters.values():
+                reporter.push_sink(file_sink)
+            try:
+                self._walk_file(ctx, reporters)
+            finally:
+                for reporter in reporters.values():
+                    reporter.pop_sink()
+            findings.extend(file_sink)
+            if cache is not None:
+                cache.store(
+                    digest,
+                    rule_key,
+                    [
+                        (f.line, f.col, f.rule_id, f.message)
+                        for f in file_sink
+                        if f.path == rel
+                    ],
+                )
 
         for rule in self.rules:
             rule.finish_project(project, reporters[rule.rule_id])
 
         findings.sort()
-        return CheckResult(
+        result = CheckResult(
             findings=tuple(findings),
             files_scanned=len(project.scanned),
             root=project.root,
         )
+        if cache is not None:
+            cache.finish_run(
+                rule_key,
+                {rel: digest for _, rel, _, digest in hashed},
+                project.accesses,
+                result,
+                complete=complete,
+            )
+        return result
 
     def _walk_file(self, ctx: FileContext, reporters: Dict[str, Reporter]) -> None:
         active = [rule for rule in self.rules if rule.applies_to(ctx)]
@@ -416,10 +656,15 @@ def run_checks(
     *,
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
+    cache: Optional["CheckCache"] = None,
 ) -> CheckResult:
-    """Run the (given or default) rule set over ``paths``."""
+    """Run the (given or default) rule set over ``paths``.
+
+    ``cache`` (a :class:`repro.checks.cache.CheckCache`) enables the
+    incremental result cache; ``None`` — the default — runs cold.
+    """
     if rules is None:
         from .rules import default_rules
 
         rules = default_rules()
-    return CheckEngine(rules).run(paths, root=root)
+    return CheckEngine(rules).run(paths, root=root, cache=cache)

@@ -13,6 +13,11 @@ RB301     env-var-registry      REPRO_* reads go through repro.constants
 RB401     float-equality        exact parity tests; no nonzero float ==
 RB501     shm-lifecycle         shared memory scoped by with / try-finally
 RB601     api-surface           __all__ is real; no strategy string shim
+RB701     fork-safety           no threads/locks/loops in forking modules
+RB702     async-blocking        no blocking calls in async def bodies
+RB703     journal-durability    explicit fsync choice; write paths fsync
+RB704     resource-lifecycle    pipes/sockets/handles closed on all paths
+RB705     monotonic-clock       deadlines use time.monotonic, not time.time
 ========  ====================  ==========================================
 
 (``RB000`` is reserved for files that fail to parse.)
@@ -24,13 +29,20 @@ from typing import List, Type
 
 from ..engine import Rule
 from .api_surface import ApiSurfaceRule
+from .concurrency import AsyncBlockingRule, ForkSafetyRule, MonotonicClockRule
 from .determinism import DeterminismRule
 from .env_registry import EnvRegistryRule
 from .float_equality import FloatEqualityRule
 from .kernel_parity import KernelParityRule
+from .lifecycle import JournalDurabilityRule, ResourceLifecycleRule
 from .shm_lifecycle import ShmLifecycleRule
 
-__all__ = ["RULES", "default_rules"]
+__all__ = ["RULES", "RULE_PACK_VERSION", "default_rules"]
+
+#: Version tag of the rule pack, mixed into the incremental cache key —
+#: bump whenever any rule's semantics change, so stale cached findings
+#: cannot survive a rule upgrade.
+RULE_PACK_VERSION = "2026.08.0"
 
 #: Shipped rule classes, in id order.
 RULES: List[Type[Rule]] = [
@@ -40,6 +52,11 @@ RULES: List[Type[Rule]] = [
     FloatEqualityRule,
     ShmLifecycleRule,
     ApiSurfaceRule,
+    ForkSafetyRule,
+    AsyncBlockingRule,
+    JournalDurabilityRule,
+    ResourceLifecycleRule,
+    MonotonicClockRule,
 ]
 
 

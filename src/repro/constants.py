@@ -309,6 +309,29 @@ PORTFOLIO_GRID: "EnvVar[int]" = EnvVar(
     values="positive integer (default 33)",
 )
 
+def _parse_bool_flag(name: str, raw: str) -> bool:
+    value = raw.lower()
+    if value in ("1", "true", "on", "yes"):
+        return True
+    if value in ("0", "false", "off", "no"):
+        return False
+    raise EnvVarError(
+        f"{name} must be a boolean flag (0/1/true/false/on/off), got {raw!r}"
+    )
+
+
+#: Switch for the incremental result cache of ``repro-bid check``.
+CHECK_CACHE: "EnvVar[bool]" = EnvVar(
+    name="REPRO_CHECK_CACHE",
+    default=True,
+    parse=lambda raw: _parse_bool_flag("REPRO_CHECK_CACHE", raw),
+    description="Enable the incremental result cache of repro-bid check "
+    "(per-file findings keyed by content hash and rule-pack version, "
+    "stored under .repro-check-cache/ at the repo root); 0 disables all "
+    "cache reads and writes.",
+    values="boolean flag (default 1)",
+)
+
 #: Number of historical windows the CVaR bid selector scores each
 #: candidate bid on (:mod:`repro.extensions.portfolio`).
 CVAR_WINDOWS: "EnvVar[int]" = EnvVar(
@@ -338,6 +361,7 @@ ENV_VARS: Mapping[str, "EnvVar[object]"] = {
         SCHED_MAX_SHARD_FAILURES,
         PORTFOLIO_GRID,
         CVAR_WINDOWS,
+        CHECK_CACHE,
     )
 }
 

@@ -170,8 +170,10 @@ class _Coordinator:
         self.serialize = serialize
         self.worker_faults = worker_faults
 
-        self.ctx = get_context(
-            "fork" if "fork" in _start_methods() else None
+        self.ctx = (
+            get_context("fork")
+            if "fork" in _start_methods()
+            else get_context()
         )
         self.pending: Deque[int] = deque(s.index for s in shards)
         self.spec_queue: Deque[int] = deque()

@@ -146,7 +146,7 @@ def _opt_float(value: Any) -> Optional[float]:
 def decision_from_wire(payload: Dict[str, Any]) -> BidDecision:
     """Decode a decision payload back into the dataclass."""
     try:
-        common = dict(
+        common: Dict[str, Any] = dict(
             price=float(payload["price"]),
             kind=BidKind(payload["kind"]),
             expected_cost=float(payload["expected_cost"]),

@@ -343,6 +343,7 @@ class BidTableSet:
         """
         table = self.tables.get(request.strategy)
         if table is not None:
+            decision: Optional[BidDecision]
             try:
                 decision = table.lookup(request.job)
             except ServeError:

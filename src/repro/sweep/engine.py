@@ -520,8 +520,12 @@ def run_sweep(
             from ..resilience.execution import SweepJournal
 
             if not isinstance(journal, SweepJournal):
+                # Non-durable on purpose: the sweep journal is a resume
+                # optimization — losing trailing records after a crash
+                # only re-runs those cells, it never corrupts results.
                 journal = SweepJournal(
                     journal,
+                    fsync=False,
                     signature={
                         "strategy": strategy.value,
                         "execution_time": job.execution_time,

@@ -1,0 +1,172 @@
+"""CLI surfaces added for CI integration: SARIF output and --changed.
+
+``--format sarif`` feeds GitHub's problem annotations;
+``--changed[=REF]`` narrows pre-commit runs to the touched files.
+"""
+
+import json
+import subprocess
+
+from repro.checks import run_checks
+from repro.checks.cli import main as checks_main
+from repro.checks.rules import RULES
+
+
+def write_project(tmp_path, files):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+DIRTY = "import time\n\n\ndef f(b):\n    deadline = time.time() + b\n    return deadline\n"
+CLEAN = "x = 1\n"
+
+
+def git(root, *args):
+    subprocess.run(
+        ["git", "-C", str(root), *args],
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(root),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def git_repo(tmp_path, files):
+    root = write_project(tmp_path, files)
+    git(root, "init", "-q")
+    git(root, "add", "-A")
+    git(root, "commit", "-q", "-m", "seed")
+    return root
+
+
+class TestSarif:
+    def run_sarif(self, root, capsys):
+        code = checks_main(
+            [
+                "--no-cache",
+                "--root",
+                str(root),
+                "--format",
+                "sarif",
+                str(root / "src"),
+            ]
+        )
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_document_shape(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/m.py": CLEAN})
+        code, document = self.run_sarif(root, capsys)
+        assert code == 0
+        assert document["version"] == "2.1.0"
+        assert "sarif-2.1.0" in document["$schema"]
+        (run,) = document["runs"]
+        assert run["results"] == []
+        assert "SRCROOT" in run["originalUriBaseIds"]
+
+    def test_rule_catalog_is_embedded(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/m.py": CLEAN})
+        _, document = self.run_sarif(root, capsys)
+        driver = document["runs"][0]["tool"]["driver"]
+        listed = {rule["id"] for rule in driver["rules"]}
+        # The shipped catalog plus the RB000 parse-error pseudo-rule.
+        assert listed == {rule.rule_id for rule in RULES} | {"RB000"}
+
+    def test_findings_become_results(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/m.py": DIRTY})
+        code, document = self.run_sarif(root, capsys)
+        assert code == 1
+        results = document["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"RB101", "RB705"}
+        for result in results:
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "src/m.py"
+            assert physical["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert physical["region"]["startLine"] == 5
+            assert result["message"]["text"]
+
+    def test_engine_render_matches_cli(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/m.py": DIRTY})
+        engine_doc = json.loads(
+            run_checks([root / "src"], root=root).render_sarif()
+        )
+        _, cli_doc = self.run_sarif(root, capsys)
+        assert engine_doc == cli_doc
+
+
+class TestChanged:
+    def test_untouched_tree_reports_nothing_to_check(self, tmp_path, capsys):
+        root = git_repo(tmp_path, {"src/m.py": CLEAN})
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_modified_file_is_checked(self, tmp_path, capsys):
+        root = git_repo(tmp_path, {"src/m.py": CLEAN, "src/other.py": CLEAN})
+        (root / "src" / "m.py").write_text(DIRTY)
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RB705" in out
+        assert "1 file(s)" in out  # other.py not re-scanned
+
+    def test_untracked_file_is_included(self, tmp_path, capsys):
+        root = git_repo(tmp_path, {"src/m.py": CLEAN})
+        (root / "src" / "new.py").write_text(DIRTY)
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "new.py" in out
+
+    def test_explicit_base_ref(self, tmp_path, capsys):
+        root = git_repo(tmp_path, {"src/m.py": CLEAN})
+        (root / "src" / "m.py").write_text(DIRTY)
+        git(root, "add", "-A")
+        git(root, "commit", "-q", "-m", "introduce wall-clock deadline")
+        # vs. HEAD the tree is clean; vs. the seed commit it is not.
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed=HEAD~1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RB705" in out
+
+    def test_non_repo_falls_back_to_full_scan(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/m.py": DIRTY})
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "falling back to a full scan" in captured.err
+        assert "RB705" in captured.out
+
+    def test_non_python_changes_are_ignored(self, tmp_path, capsys):
+        root = git_repo(tmp_path, {"src/m.py": CLEAN})
+        (root / "notes.md").write_text("hello\n")
+        code = checks_main(
+            ["--no-cache", "--root", str(root), "--changed"]
+        )
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out

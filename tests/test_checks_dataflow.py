@@ -1,0 +1,457 @@
+"""Unit tests for the dataflow layer under the RB7xx rules.
+
+Exercises the CFG builder, the every-path query, the taint fixpoint,
+and the scope iterator directly on synthetic functions, independent of
+any rule.
+"""
+
+import ast
+import textwrap
+
+from repro.checks.dataflow import (
+    build_cfg,
+    every_path_hits,
+    iter_scopes,
+    scope_statements,
+    scope_walk,
+    tainted_names,
+)
+
+
+def parse_body(source):
+    """Statement list of the first function in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return fn.body
+
+
+def stmt_at(body, line):
+    for stmt in scope_statements(body):
+        if stmt.lineno == line:
+            return stmt
+    raise AssertionError(f"no statement at line {line}")
+
+
+def calls(name):
+    """Predicate: the statement's *own* expressions call ``name(...)``.
+
+    Nested block bodies are excluded — those statements occupy their own
+    CFG positions, mirroring how the lifecycle rules match.
+    """
+
+    def hit(stmt):
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.stmt) and node is not stmt:
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == name
+            ):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    return hit
+
+
+class TestEveryPathHits:
+    def test_straight_line_hit(self):
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+                use(x)
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_straight_line_miss(self):
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+                use(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert not every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_if_one_branch_only_misses(self):
+        body = parse_body(
+            """\
+            def f(cond):
+                x = acquire()
+                if cond:
+                    release(x)
+                return None
+            """
+        )
+        cfg = build_cfg(body)
+        assert not every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_if_both_branches_hit(self):
+        body = parse_body(
+            """\
+            def f(cond):
+                x = acquire()
+                if cond:
+                    release(x)
+                else:
+                    release(x)
+                return None
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_hit_after_join_dominates(self):
+        body = parse_body(
+            """\
+            def f(cond):
+                x = acquire()
+                if cond:
+                    use(x)
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_early_return_escapes(self):
+        body = parse_body(
+            """\
+            def f(cond):
+                x = acquire()
+                if cond:
+                    return None
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert not every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_while_loop_with_hit_after(self):
+        body = parse_body(
+            """\
+            def f(items):
+                x = acquire()
+                while items:
+                    use(x)
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_break_skipping_hit_escapes(self):
+        body = parse_body(
+            """\
+            def f(items):
+                x = acquire()
+                for item in items:
+                    if item:
+                        break
+                    use(x)
+                else:
+                    release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert not every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_continue_stays_inside_loop(self):
+        body = parse_body(
+            """\
+            def f(items):
+                x = acquire()
+                for item in items:
+                    if not item:
+                        continue
+                    use(x)
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_finally_covers_early_return(self):
+        # The finally body is duplicated onto the return's unwind edge,
+        # so the early return still passes through release().
+        body = parse_body(
+            """\
+            def f(cond):
+                x = acquire()
+                try:
+                    if cond:
+                        return None
+                    use(x)
+                finally:
+                    release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_handler_path_that_skips_hit_escapes(self):
+        # The exception edge from the try entry lets the handler's
+        # early return bypass the release after the try.
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+                try:
+                    use(x)
+                except ValueError:
+                    return None
+                release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert not every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_release_inside_try_body_is_permissively_covered(self):
+        # Documented approximation: exceptions are modeled at try entry
+        # only, so a raise *between* use() and release() is not a
+        # tracked path — the rule stays quiet rather than demanding
+        # try/finally everywhere.
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+                try:
+                    use(x)
+                    release(x)
+                except ValueError:
+                    pass
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_raise_unwinds_through_finally(self):
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+                try:
+                    raise ValueError("boom")
+                finally:
+                    release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, stmt_at(body, 2), calls("release"))
+
+    def test_unknown_statement_defaults_to_true(self):
+        body = parse_body(
+            """\
+            def f():
+                x = acquire()
+            """
+        )
+        other = ast.parse("y = 1").body[0]
+        cfg = build_cfg(body)
+        assert every_path_hits(cfg, other, calls("release"))
+
+
+class TestCFGShape:
+    def test_every_statement_is_indexed(self):
+        body = parse_body(
+            """\
+            def f(cond, items):
+                x = acquire()
+                if cond:
+                    return None
+                for item in items:
+                    use(item)
+                try:
+                    use(x)
+                finally:
+                    release(x)
+            """
+        )
+        cfg = build_cfg(body)
+        for stmt in scope_statements(body):
+            assert id(stmt) in cfg.stmt_index
+
+    def test_unreachable_code_is_indexed_but_disconnected(self):
+        body = parse_body(
+            """\
+            def f():
+                return None
+                dead()
+            """
+        )
+        cfg = build_cfg(body)
+        dead = stmt_at(body, 3)
+        block, _ = cfg.stmt_index[id(dead)]
+        assert cfg.entry is not None and block is not cfg.entry
+
+
+class TestTaintedNames:
+    def source(self, node):
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "source"
+        )
+
+    def test_direct_assignment(self):
+        body = parse_body(
+            """\
+            def f():
+                now = source()
+            """
+        )
+        assert tainted_names(body, self.source) == {"now"}
+
+    def test_chain_propagates(self):
+        body = parse_body(
+            """\
+            def f():
+                now = source()
+                stamp = now
+                copy = stamp
+            """
+        )
+        assert tainted_names(body, self.source) == {"now", "stamp", "copy"}
+
+    def test_tuple_unpacking(self):
+        body = parse_body(
+            """\
+            def f():
+                a, b = source(), 1
+            """
+        )
+        # Tuple targets are approximated as a unit: both names taint.
+        assert "a" in tainted_names(body, self.source)
+
+    def test_untainted_names_stay_clean(self):
+        body = parse_body(
+            """\
+            def f():
+                now = source()
+                other = 1
+            """
+        )
+        assert "other" not in tainted_names(body, self.source)
+
+    def test_augmented_assignment(self):
+        body = parse_body(
+            """\
+            def f(total):
+                total += source()
+            """
+        )
+        assert tainted_names(body, self.source) == {"total"}
+
+
+class TestScopes:
+    def test_iter_scopes_qualnames(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                def top():
+                    def inner():
+                        pass
+
+                class Box:
+                    def method(self):
+                        pass
+                """
+            )
+        )
+        names = [scope.qualname for scope in iter_scopes(tree)]
+        assert names == [
+            "<module>",
+            "top",
+            "top.<locals>.inner",
+            "Box.method",
+        ]
+
+    def test_class_chain(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                class Box:
+                    def method(self):
+                        pass
+                """
+            )
+        )
+        method = [s for s in iter_scopes(tree) if s.qualname == "Box.method"]
+        assert method[0].class_chain == ("Box",)
+
+    def test_def_nested_in_if_found(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                if True:
+                    def guarded():
+                        pass
+                """
+            )
+        )
+        names = [scope.qualname for scope in iter_scopes(tree)]
+        assert "guarded" in names
+
+    def test_scope_walk_does_not_descend_into_defs(self):
+        # Regression: a def that is *itself* an element of the walked
+        # body must be yielded once and treated as opaque.
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                def f():
+                    hidden()
+
+                visible()
+                """
+            )
+        )
+        seen = [
+            node.func.id
+            for node in scope_walk(tree.body)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+        ]
+        assert seen == ["visible"]
+
+    def test_scope_walk_opaque_for_nested_lambda_and_class(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                handler = lambda: hidden()
+
+                class Box:
+                    hidden_too()
+
+                visible()
+                """
+            )
+        )
+        seen = {
+            node.func.id
+            for node in scope_walk(tree.body)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+        }
+        assert seen == {"visible"}
+
+    def test_scope_statements_cover_block_bodies(self):
+        body = parse_body(
+            """\
+            def f(cond):
+                if cond:
+                    a = 1
+                else:
+                    b = 2
+                with open("x") as fh:
+                    c = 3
+            """
+        )
+        lines = sorted(stmt.lineno for stmt in scope_statements(body))
+        assert lines == [2, 3, 5, 6, 7]

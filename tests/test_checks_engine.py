@@ -214,7 +214,19 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert checks_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RB101", "RB201", "RB301", "RB401", "RB501", "RB601"):
+        for rule_id in (
+            "RB101",
+            "RB201",
+            "RB301",
+            "RB401",
+            "RB501",
+            "RB601",
+            "RB701",
+            "RB702",
+            "RB703",
+            "RB704",
+            "RB705",
+        ):
             assert rule_id in out
 
     def test_determinism_finding_through_cli(self, tmp_path, capsys):

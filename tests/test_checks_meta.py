@@ -165,3 +165,129 @@ class TestParityRuleGuardsRealAnchors:
         )
         messages = [f.message for f in result.findings]
         assert any("does not time" in m for m in messages)
+
+
+@in_repo_checkout
+class TestRB7xxGuardRealModules:
+    """Each RB7xx rule, pointed at a copy of the real module it guards,
+    with the protective discipline surgically removed — so refactors
+    cannot silently reduce a rule to a no-op on the real layout."""
+
+    def copy_module(self, tmp_path, rel, mutate=None):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        source = (REPO_ROOT / rel).read_text()
+        if mutate is not None:
+            mutated = mutate(source)
+            assert mutated != source, "mutation did not apply"
+            source = mutated
+        target.write_text(source)
+        return target
+
+    def run_rule(self, tmp_path, rule):
+        return run_checks([tmp_path / "src"], rules=[rule], root=tmp_path)
+
+    def test_rb701_thread_before_fork_in_pool_fails(self, tmp_path):
+        from repro.checks.rules.concurrency import ForkSafetyRule
+
+        rel = "src/repro/scheduler/pool.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, ForkSafetyRule()).findings == ()
+
+        self.copy_module(
+            tmp_path,
+            rel,
+            mutate=lambda s: s
+            + "\nimport threading\n"
+            + "_PREFORK_THREAD = threading.Thread(target=int)\n",
+        )
+        result = self.run_rule(tmp_path, ForkSafetyRule())
+        assert [f.rule_id for f in result.findings] == ["RB701"]
+        assert "fork" in result.findings[0].message
+
+    def test_rb702_blocking_sleep_in_serve_loop_fails(self, tmp_path):
+        from repro.checks.rules.concurrency import AsyncBlockingRule
+
+        rel = "src/repro/serve/service.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, AsyncBlockingRule()).findings == ()
+
+        self.copy_module(
+            tmp_path,
+            rel,
+            mutate=lambda s: s.replace(
+                "await writer.drain()", "time.sleep(0)", 1
+            ),
+        )
+        result = self.run_rule(tmp_path, AsyncBlockingRule())
+        assert [f.rule_id for f in result.findings] == ["RB702"]
+
+    def test_rb703_dropping_fsync_from_journal_fails(self, tmp_path):
+        from repro.checks.rules.lifecycle import JournalDurabilityRule
+
+        rel = "src/repro/resilience/execution.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, JournalDurabilityRule()).findings == ()
+
+        self.copy_module(
+            tmp_path,
+            rel,
+            mutate=lambda s: s.replace("os.fsync(fh.fileno())", "fh.flush()"),
+        )
+        result = self.run_rule(tmp_path, JournalDurabilityRule())
+        assert result.findings
+        assert {f.rule_id for f in result.findings} == {"RB703"}
+
+    def test_rb703_dropping_fsync_choice_at_call_site_fails(self, tmp_path):
+        from repro.checks.rules.lifecycle import JournalDurabilityRule
+
+        rel = "src/repro/sweep/engine.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, JournalDurabilityRule()).findings == ()
+
+        self.copy_module(
+            tmp_path,
+            rel,
+            mutate=lambda s: s.replace("fsync=False,\n", "", 1),
+        )
+        result = self.run_rule(tmp_path, JournalDurabilityRule())
+        assert [f.rule_id for f in result.findings] == ["RB703"]
+        assert "fsync" in result.findings[0].message
+
+    def test_rb704_leaky_helper_in_journal_module_fails(self, tmp_path):
+        from repro.checks.rules.lifecycle import ResourceLifecycleRule
+
+        rel = "src/repro/resilience/execution.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, ResourceLifecycleRule()).findings == ()
+
+        # A regression-style addition: a helper that closes the handle
+        # on only one branch.  The module path matters — the same code
+        # under tests/ would be exempt.
+        leak = (
+            "\n\ndef _probe_journal_unsafe(path):\n"
+            '    fh = open(path, "rb")\n'
+            "    if fh.seekable():\n"
+            "        fh.close()\n"
+        )
+        self.copy_module(tmp_path, rel, mutate=lambda s: s + leak)
+        result = self.run_rule(tmp_path, ResourceLifecycleRule())
+        assert [f.rule_id for f in result.findings] == ["RB704"]
+        assert "some path" in result.findings[0].message
+
+    def test_rb705_wall_clock_deadlines_in_pool_fail(self, tmp_path):
+        from repro.checks.rules.concurrency import MonotonicClockRule
+
+        rel = "src/repro/scheduler/pool.py"
+        self.copy_module(tmp_path, rel)
+        assert self.run_rule(tmp_path, MonotonicClockRule()).findings == ()
+
+        self.copy_module(
+            tmp_path,
+            rel,
+            mutate=lambda s: s.replace("time.monotonic()", "time.time()"),
+        )
+        result = self.run_rule(tmp_path, MonotonicClockRule())
+        assert result.findings
+        assert {f.rule_id for f in result.findings} == {"RB705"}

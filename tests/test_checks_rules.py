@@ -38,7 +38,19 @@ def rule_ids(result):
 
 def test_catalog_ids_are_unique_and_stable():
     ids = [rule.rule_id for rule in RULES]
-    assert ids == ["RB101", "RB201", "RB301", "RB401", "RB501", "RB601"]
+    assert ids == [
+        "RB101",
+        "RB201",
+        "RB301",
+        "RB401",
+        "RB501",
+        "RB601",
+        "RB701",
+        "RB702",
+        "RB703",
+        "RB704",
+        "RB705",
+    ]
 
 
 class TestDeterminismRB101:

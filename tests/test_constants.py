@@ -129,6 +129,7 @@ class TestEnvVarRegistry:
             "REPRO_SCHED_MAX_SHARD_FAILURES",
             "REPRO_PORTFOLIO_GRID",
             "REPRO_CVAR_WINDOWS",
+            "REPRO_CHECK_CACHE",
         }
         assert env_var("REPRO_SWEEP_KERNEL") is ENV_VARS["REPRO_SWEEP_KERNEL"]
         with pytest.raises(EnvVarError, match="not a registered"):
@@ -210,3 +211,27 @@ class TestEnvVarRegistry:
                 EnvVarError, match="REPRO_SCHED_MAX_SHARD_FAILURES"
             ):
                 SCHED_MAX_SHARD_FAILURES.get()
+
+    def test_check_cache_flag_parses(self, monkeypatch):
+        from repro.constants import CHECK_CACHE, EnvVarError
+
+        monkeypatch.delenv("REPRO_CHECK_CACHE", raising=False)
+        assert CHECK_CACHE.get() is True  # cache on by default
+
+        for raw, expected in (
+            ("1", True),
+            ("true", True),
+            ("ON", True),
+            ("yes", True),
+            ("0", False),
+            ("false", False),
+            ("OFF", False),
+            ("no", False),
+        ):
+            monkeypatch.setenv("REPRO_CHECK_CACHE", raw)
+            assert CHECK_CACHE.get() is expected
+
+        for raw in ("2", "maybe", "enabled"):
+            monkeypatch.setenv("REPRO_CHECK_CACHE", raw)
+            with pytest.raises(EnvVarError, match="REPRO_CHECK_CACHE"):
+                CHECK_CACHE.get()
